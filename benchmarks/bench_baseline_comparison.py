@@ -1,0 +1,56 @@
+"""Extended ablation — HPM vs every baseline tier.
+
+Not a paper figure, but the natural completion of its evaluation: the
+periodic-mean baseline shares HPM's core insight (periodicity) without
+the rule machinery, so the HPM-vs-periodic-mean gap isolates what
+frequent regions, confidences and premise similarity add; linear and
+last-position bound the motion-only tiers from below.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_baseline_comparison
+
+from conftest import run_once
+
+
+def scenarios():
+    return ("bike", "cow", "car", "airplane") if full_sweeps_enabled() else ("cow", "car")
+
+
+def test_baseline_comparison(benchmark, datasets, scale):
+    def compute():
+        rows = []
+        for name in scenarios():
+            rows.extend(
+                run_baseline_comparison(
+                    datasets[name], scale, prediction_lengths=[20, 100]
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print(
+        format_series(
+            "Baseline comparison: mean error by predictor tier",
+            ["dataset", "length", "HPM", "RMF", "linear", "poly", "periodic mean", "last pos"],
+            [
+                [
+                    r["dataset"],
+                    r["prediction_length"],
+                    round(r["hpm"]),
+                    round(r["rmf"]),
+                    round(r["linear"]),
+                    round(r["polynomial"]),
+                    round(r["periodic_mean"]),
+                    round(r["last_position"]),
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        # HPM must beat the motion-only tiers at the distant horizon.
+        if r["prediction_length"] >= 100:
+            assert r["hpm"] < r["rmf"]
+            assert r["hpm"] < r["last_position"]

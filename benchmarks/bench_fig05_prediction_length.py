@@ -1,0 +1,53 @@
+"""Fig. 5 — Effect of Prediction Length.
+
+Paper series: average error (distance) vs prediction length 20..200, HPM
+vs RMF, one panel per dataset.  Expected shape: HPM stays low and flat;
+RMF rises steeply with the prediction length, most dramatically on Car
+("many sudden changes of direction on road intersections"); HPM's
+advantage is smallest on Airplane ("the dataset does not contain strong
+trajectory patterns").
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_prediction_length
+
+from conftest import run_once
+
+SCENARIOS = ("bike", "cow", "car", "airplane")
+
+
+def lengths():
+    if full_sweeps_enabled():
+        return [20, 40, 60, 80, 100, 120, 140, 160, 180, 200]
+    return [20, 60, 120, 200]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig05_prediction_length(benchmark, scenario, datasets, scale):
+    dataset = datasets[scenario]
+    rows = run_once(
+        benchmark, lambda: run_prediction_length(dataset, lengths(), scale)
+    )
+    print(
+        format_series(
+            f"Fig. 5 ({scenario}): average error vs prediction length",
+            ["length", "HPM error", "RMF error", "fqp", "bqp", "motion"],
+            [
+                [
+                    r["prediction_length"],
+                    r["hpm_error"],
+                    r["rmf_error"],
+                    r["hpm_methods"].get("fqp", 0),
+                    r["hpm_methods"].get("bqp", 0),
+                    r["hpm_methods"].get("motion", 0),
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # Paper's qualitative claims, asserted on every run:
+    # RMF error grows with the horizon...
+    assert rows[-1]["rmf_error"] > rows[0]["rmf_error"]
+    # ...and HPM never exceeds RMF at the longest horizon.
+    assert rows[-1]["hpm_error"] < rows[-1]["rmf_error"]

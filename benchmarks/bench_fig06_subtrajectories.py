@@ -1,0 +1,54 @@
+"""Fig. 6 — Effect of Sub-trajectories (prediction length = 50).
+
+Paper series: average error vs the number of training sub-trajectories
+(10..100), HPM vs RMF.  Expected shape: HPM's error starts near RMF's
+with few training periods and drops steeply once enough history has
+accumulated ("HPM can become dramatically more precise when a proper
+amount of sub-trajectories have been accumulated"); RMF is flat (it only
+ever sees the query's recent window); "HPM errors do not exceed RMF
+errors throughout".
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_subtrajectories
+
+from conftest import run_once
+
+SCENARIOS = ("bike", "cow", "car", "airplane")
+
+
+def counts(scale):
+    top = scale.training_subtrajectories
+    if full_sweeps_enabled():
+        return [10, 20, 30, 40, 50, 60]
+    return [5, 10, 20, top]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig06_subtrajectories(benchmark, scenario, datasets, scale):
+    dataset = datasets[scenario]
+    rows = run_once(
+        benchmark,
+        lambda: run_subtrajectories(dataset, counts(scale), scale, prediction_length=50),
+    )
+    print(
+        format_series(
+            f"Fig. 6 ({scenario}): average error vs training sub-trajectories",
+            ["subtrajectories", "HPM error", "RMF error", "patterns"],
+            [
+                [
+                    r["num_subtrajectories"],
+                    r["hpm_error"],
+                    r["rmf_error"],
+                    r["num_patterns"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # More history -> at least as many patterns.
+    assert rows[-1]["num_patterns"] >= rows[0]["num_patterns"]
+    # "HPM errors do not exceed RMF errors throughout" — equality occurs
+    # when every query falls back to the motion function (weak patterns).
+    assert rows[-1]["hpm_error"] <= rows[-1]["rmf_error"]

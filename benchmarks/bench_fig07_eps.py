@@ -1,0 +1,40 @@
+"""Fig. 7 — Effect of Eps.
+
+Paper series: (a) number of trajectory patterns and (b) average error vs
+DBSCAN Eps (22..38), per dataset.  Expected shape: pattern counts grow
+(dramatically for strongly patterned data) as Eps grows; once enough
+patterns exist, extra patterns barely move accuracy (Bike), while weakly
+patterned data (Airplane) stays inaccurate until Eps is large enough to
+form regions at all.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_eps
+
+from conftest import run_once
+
+SCENARIOS = ("bike", "cow", "car", "airplane")
+
+
+def eps_values():
+    if full_sweeps_enabled():
+        return [22.0, 24.0, 26.0, 28.0, 30.0, 32.0, 34.0, 36.0, 38.0]
+    return [22.0, 30.0, 38.0]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig07_eps(benchmark, scenario, datasets, scale):
+    dataset = datasets[scenario]
+    rows = run_once(benchmark, lambda: run_eps(dataset, eps_values(), scale))
+    print(
+        format_series(
+            f"Fig. 7 ({scenario}): patterns and error vs Eps",
+            ["eps", "patterns", "HPM error"],
+            [[r["eps"], r["num_patterns"], r["hpm_error"]] for r in rows],
+        )
+    )
+    # Fig. 7a's growth trend, with slack: a larger Eps can also *merge*
+    # adjacent clusters into one region (slightly fewer patterns), so the
+    # corpus must only not shrink materially end-to-end.
+    assert rows[-1]["num_patterns"] >= 0.85 * rows[0]["num_patterns"]

@@ -1,0 +1,37 @@
+"""Fig. 8 — Effect of MinPts.
+
+Paper series: (a) number of trajectory patterns and (b) average error vs
+DBSCAN MinPts (3..7), per dataset.  Expected shape: raising MinPts
+shrinks the pattern corpus ("the number of trajectory patterns is
+considerably reduced as MinPts increases"), and once the corpus becomes
+too small prediction errors rise.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_minpts
+
+from conftest import run_once
+
+SCENARIOS = ("bike", "cow", "car", "airplane")
+
+
+def minpts_values():
+    if full_sweeps_enabled():
+        return [3, 4, 5, 6, 7]
+    return [3, 5, 7]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig08_minpts(benchmark, scenario, datasets, scale):
+    dataset = datasets[scenario]
+    rows = run_once(benchmark, lambda: run_minpts(dataset, minpts_values(), scale))
+    print(
+        format_series(
+            f"Fig. 8 ({scenario}): patterns and error vs MinPts",
+            ["min_pts", "patterns", "HPM error"],
+            [[r["min_pts"], r["num_patterns"], r["hpm_error"]] for r in rows],
+        )
+    )
+    # Fig. 8a: MinPts up -> patterns down (weakly monotone end-to-end).
+    assert rows[-1]["num_patterns"] <= rows[0]["num_patterns"]

@@ -1,0 +1,41 @@
+"""Fig. 9 — Effect of minimum confidence.
+
+Paper series: (a) number of trajectory patterns and (b) average error vs
+the minimum-confidence threshold (0..100 %), per dataset.  Expected
+shape: the corpus shrinks as the threshold rises; strongly patterned data
+(Bike) barely loses accuracy ("only certain numbers of patterns are
+useful for prediction though many patterns are discovered"), while the
+weakly patterned Airplane degrades once its corpus becomes insufficient
+(the paper pins this around 60 %).
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_confidence
+
+from conftest import run_once
+
+SCENARIOS = ("bike", "cow", "car", "airplane")
+
+
+def thresholds():
+    if full_sweeps_enabled():
+        return [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    return [0.0, 0.3, 0.6, 0.9]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig09_confidence(benchmark, scenario, datasets, scale):
+    dataset = datasets[scenario]
+    rows = run_once(
+        benchmark, lambda: run_confidence(dataset, thresholds(), scale)
+    )
+    print(
+        format_series(
+            f"Fig. 9 ({scenario}): patterns and error vs minimum confidence",
+            ["min_conf", "patterns", "HPM error"],
+            [[r["min_confidence"], r["num_patterns"], r["hpm_error"]] for r in rows],
+        )
+    )
+    counts = [r["num_patterns"] for r in rows]
+    assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,56 @@
+"""Fig. 10 — Query Response Time.
+
+Paper series: mean query response time vs the number of training
+sub-trajectories (10..100), HPM vs RMF, averaged over 30 queries.
+Expected shape: HPM's cost *falls* as more patterns are discovered ("a
+less number of RMF calls from HPM since it is more likely for HPM to find
+available patterns"); RMF's cost is flat (it always fits its SVD-based
+recurrence per query).  Absolute milliseconds differ from the paper's
+C++/P4 testbed — the shape is the reproduction target.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_query_time
+
+from conftest import run_once
+
+SCENARIOS = ("bike", "cow", "car", "airplane")
+
+
+def counts(scale):
+    if full_sweeps_enabled():
+        return [10, 20, 30, 40, 50, 60]
+    return [5, 15, scale.training_subtrajectories]
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig10_query_time(benchmark, scenario, datasets, scale):
+    dataset = datasets[scenario]
+    num_queries = 30 if full_sweeps_enabled() else 15
+    rows = run_once(
+        benchmark,
+        lambda: run_query_time(
+            dataset, counts(scale), scale, prediction_length=50,
+            num_queries=num_queries,
+        ),
+    )
+    print(
+        format_series(
+            f"Fig. 10 ({scenario}): query response time vs training sub-trajectories",
+            ["subtrajectories", "HPM ms", "RMF ms", "motion fallbacks"],
+            [
+                [
+                    r["num_subtrajectories"],
+                    round(r["hpm_ms"], 3),
+                    round(r["rmf_ms"], 3),
+                    r["motion_fallbacks"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # With a full training corpus, HPM answers from the TPT for most
+    # queries (fallbacks rare on patterned data).
+    if scenario != "airplane":
+        assert rows[-1]["motion_fallbacks"] <= rows[0]["motion_fallbacks"] + 2

@@ -1,0 +1,71 @@
+"""Fig. 11 — Performance of TPT.
+
+Paper series:
+  (a) storage consumption (MB) vs number of patterns (1k..100k) for
+      80/400/800 frequent regions — storage grows with both, since the
+      pattern-key width is the number of frequent regions;
+  (b) search cost vs number of patterns, TPT vs brute force — TPT stays
+      near-constant while brute force grows linearly.
+
+The corpus is synthetic (random patterns over a synthetic region
+universe), exactly as an index-scaling experiment should be.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_tpt_scaling
+
+from conftest import run_once
+
+
+def grids():
+    if full_sweeps_enabled():
+        return [1000, 5000, 10000, 50000, 100000], [80, 400, 800]
+    return [1000, 5000, 10000], [80, 400]
+
+
+def test_fig11_tpt_storage_and_search(benchmark):
+    pattern_counts, region_counts = grids()
+    rows = run_once(
+        benchmark,
+        lambda: run_tpt_scaling(pattern_counts, region_counts, num_queries=100),
+    )
+    print(
+        format_series(
+            "Fig. 11a/11b: TPT storage and search cost vs corpus size",
+            ["regions", "patterns", "storage MB", "TPT ms", "brute ms", "height"],
+            [
+                [
+                    r["num_regions"],
+                    r["num_patterns"],
+                    round(r["storage_mb"], 3),
+                    round(r["tpt_ms"], 3),
+                    round(r["brute_ms"], 3),
+                    r["tree_height"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by_regions: dict[int, list[dict]] = {}
+    for r in rows:
+        by_regions.setdefault(r["num_regions"], []).append(r)
+    for series in by_regions.values():
+        series.sort(key=lambda r: r["num_patterns"])
+        # Fig. 11a: storage grows with the pattern count.
+        sizes = [r["storage_mb"] for r in series]
+        assert sizes == sorted(sizes)
+        # Fig. 11b: brute force degrades with corpus size much faster than
+        # TPT (paper: "query response times of TPT remain almost constant
+        # while those of the brute-force method increase tremendously").
+        brute_growth = series[-1]["brute_ms"] / max(series[0]["brute_ms"], 1e-9)
+        tpt_growth = series[-1]["tpt_ms"] / max(series[0]["tpt_ms"], 1e-9)
+        assert brute_growth > tpt_growth
+    # Fig. 11a: wider keys (more frequent regions) cost more storage at the
+    # same pattern count.
+    region_keys = sorted(by_regions)
+    for small_r, large_r in zip(region_keys, region_keys[1:]):
+        small = {r["num_patterns"]: r["storage_mb"] for r in by_regions[small_r]}
+        large = {r["num_patterns"]: r["storage_mb"] for r in by_regions[large_r]}
+        for n in small:
+            assert large[n] > small[n]

@@ -1,0 +1,74 @@
+"""Index-design ablations called out in DESIGN.md.
+
+1. **ChooseLeaf policy** — the paper's Algorithm 1 adds an Intersect case
+   between Contain and Difference, claiming it clusters query-coherent
+   patterns ("useful for efficient query processing ... cannot be
+   achieved by the construction algorithm of signature tree").  The
+   ablation compares nodes visited per Intersect query under Algorithm 1
+   vs the generic signature-tree rule, on identical corpora and insert
+   order.
+2. **Node fanout** — capacity sweep: build time, height, storage, search.
+"""
+
+import pytest
+
+from repro.evalx import (
+    format_series,
+    full_sweeps_enabled,
+    run_chooseleaf_ablation,
+    run_fanout_ablation,
+)
+
+from conftest import run_once
+
+
+def corpus_size():
+    return 40000 if full_sweeps_enabled() else 10000
+
+
+def test_chooseleaf_policy_ablation(benchmark):
+    row = run_once(
+        benchmark,
+        lambda: run_chooseleaf_ablation(
+            num_patterns=corpus_size(), num_regions=300, num_queries=150
+        ),
+    )
+    print(
+        format_series(
+            "ChooseLeaf ablation: nodes visited per Intersect query",
+            ["policy", "nodes/query"],
+            [
+                ["Algorithm 1 (paper)", round(row["algorithm1_nodes_per_query"], 1)],
+                ["generic signature tree", round(row["generic_nodes_per_query"], 1)],
+            ],
+        )
+    )
+    # Both policies must return identical result sets.
+    assert row["algorithm1_hits"] == row["generic_hits"]
+
+
+def test_fanout_ablation(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: run_fanout_ablation(
+            [8, 16, 32, 64, 128], num_patterns=corpus_size(), num_queries=150
+        ),
+    )
+    print(
+        format_series(
+            "TPT fanout ablation",
+            ["fanout", "build s", "search ms", "height", "storage MB"],
+            [
+                [
+                    r["fanout"],
+                    round(r["build_s"], 2),
+                    round(r["search_ms"], 3),
+                    r["height"],
+                    round(r["storage_mb"], 2),
+                ]
+                for r in rows
+            ],
+        )
+    )
+    # Taller trees at smaller fanout.
+    assert rows[0]["height"] >= rows[-1]["height"]

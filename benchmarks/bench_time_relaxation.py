@@ -1,0 +1,40 @@
+"""Ablation — time relaxation length t_eps (Section VI-C).
+
+Paper claim: "Through our experiments, the best prediction accuracy
+regarding to the time relaxation length t_eps was observed when
+1 <= t_eps <= 3."  This bench sweeps t_eps on distant-time (BQP) queries.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_time_relaxation
+
+from conftest import run_once
+
+
+def scenarios():
+    return ("bike", "cow", "car", "airplane") if full_sweeps_enabled() else ("cow",)
+
+
+def test_time_relaxation_ablation(benchmark, datasets, scale):
+    relaxations = [1, 2, 3, 5, 8]
+
+    def compute():
+        rows = []
+        for name in scenarios():
+            rows.extend(
+                run_time_relaxation(
+                    datasets[name], scale, relaxations, prediction_length=100
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print(
+        format_series(
+            "Time-relaxation ablation (paper: best at 1 <= t_eps <= 3)",
+            ["dataset", "t_eps", "HPM error"],
+            [[r["dataset"], r["time_relaxation"], r["hpm_error"]] for r in rows],
+        )
+    )
+    assert len(rows) == len(relaxations) * len(scenarios())

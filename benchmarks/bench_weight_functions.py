@@ -1,0 +1,37 @@
+"""Ablation — premise weight functions (Section VI-A).
+
+Paper claim: "According to our experiments, the linear and the quadratic
+functions showed better prediction results among the weight functions."
+This bench measures near-future (FQP-heavy) error under each family.
+"""
+
+import pytest
+
+from repro.evalx import format_series, full_sweeps_enabled, run_weight_functions
+
+from conftest import run_once
+
+
+def scenarios():
+    return ("bike", "cow", "car", "airplane") if full_sweeps_enabled() else ("bike", "cow")
+
+
+def test_weight_function_ablation(benchmark, datasets, scale):
+    def compute():
+        rows = []
+        for name in scenarios():
+            rows.extend(
+                run_weight_functions(datasets[name], scale, prediction_length=30)
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print(
+        format_series(
+            "Weight-function ablation (paper: linear/quadratic best)",
+            ["dataset", "weight function", "HPM error"],
+            [[r["dataset"], r["weight_function"], r["hpm_error"]] for r in rows],
+        )
+    )
+    assert len(rows) == 4 * len(scenarios())
+    assert all(r["hpm_error"] >= 0 for r in rows)

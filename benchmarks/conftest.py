@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures.  Each ``test_fig*``
+computes the figure's data series once (timed via ``benchmark.pedantic``)
+and prints it in the paper's row/column layout.
+
+Scale control:
+
+* default — reduced protocol (30 training sub-trajectories, 20 queries,
+  3-4 sweep points) so the whole suite finishes in a few minutes;
+* ``REPRO_FULL=1`` — the paper's protocol (60 training sub-trajectories,
+  50 queries, full parameter grids).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import make_dataset
+from repro.evalx import scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def datasets(scale):
+    """The four scenario datasets, generated once per session."""
+    return {
+        name: make_dataset(name, scale.dataset_subtrajectories, scale.period)
+        for name in ("bike", "cow", "car", "airplane")
+    }
+
+
+def run_once(benchmark, fn):
+    """Measure one full experiment run (no repetition — runs are seconds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,78 @@
+"""Commuter prediction on a road network (the paper's Car scenario).
+
+A car commutes on a synthetic road network — shortest paths full of the
+sudden turns that defeat motion-function extrapolation (Section I's
+motivating figure).  We fit HPM on the car's history and compare it
+against RMF across prediction horizons, reproducing the Fig. 5 Car panel
+in miniature.
+
+Run:  python examples/commuter_prediction.py
+"""
+
+import numpy as np
+
+from repro.datagen import make_car
+from repro.evalx import (
+    ExperimentScale,
+    evaluate_hpm,
+    evaluate_rmf,
+    fit_model,
+    format_series,
+    generate_queries,
+)
+
+
+def main() -> None:
+    scale = ExperimentScale(
+        dataset_subtrajectories=40,
+        training_subtrajectories=30,
+        num_queries=25,
+        period=300,
+    )
+    print("generating the Car dataset (road-network commute)...")
+    dataset = make_car(scale.dataset_subtrajectories, scale.period)
+
+    print("mining trajectory patterns...")
+    model = fit_model(dataset, scale)
+    print(
+        f"  {len(model.regions_)} frequent regions, "
+        f"{model.pattern_count} patterns, "
+        f"TPT height {model.tree_.stats().height}"
+    )
+
+    rows = []
+    for horizon in (20, 50, 100, 200):
+        workload = generate_queries(
+            dataset,
+            prediction_length=horizon,
+            num_queries=scale.num_queries,
+            num_training_subtrajectories=scale.training_subtrajectories,
+            rng=np.random.default_rng(horizon),
+        )
+        hpm = evaluate_hpm(model, workload)
+        rmf = evaluate_rmf(workload)
+        rows.append(
+            [
+                horizon,
+                round(hpm.mean_error),
+                round(rmf.mean_error),
+                f"{hpm.method_counts['fqp']}/{hpm.method_counts['bqp']}"
+                f"/{hpm.method_counts['motion']}",
+            ]
+        )
+    print(
+        format_series(
+            "Car commute: average error by prediction horizon",
+            ["horizon", "HPM error", "RMF error", "fqp/bqp/motion"],
+            rows,
+        )
+    )
+    print(
+        "Road-network turns break constant-motion extrapolation: RMF's\n"
+        "error explodes with the horizon while the pattern index keeps\n"
+        "HPM several times more accurate even 200 steps ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: fit the Hybrid Prediction Model and ask "where next?".
+
+Builds a small synthetic object that commutes along the same bent route
+every period, fits HPM on its history, and answers one near-future and
+one distant-future predictive query — exactly the Section I scenario.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import HPMConfig, HybridPredictionModel, Point, TimedPoint, Trajectory
+
+
+def build_history(num_days: int = 40, period: int = 24) -> tuple[Trajectory, np.ndarray]:
+    """A daily route: east along an avenue, then north on a cross street."""
+    rng = np.random.default_rng(7)
+    base = np.zeros((period, 2))
+    for t in range(period):
+        if t < period // 2:
+            base[t] = [400.0 * t, 0.0]  # eastbound leg
+        else:
+            base[t] = [400.0 * (period // 2), 400.0 * (t - period // 2)]  # north
+    days = [base + rng.normal(0, 20.0, base.shape) for _ in range(num_days)]
+    return Trajectory(np.vstack(days)), base
+
+
+def main() -> None:
+    period = 24
+    history, base = build_history(period=period)
+
+    config = HPMConfig(
+        period=period,      # the pattern period T (e.g. "a day")
+        eps=60.0,           # DBSCAN neighbourhood radius
+        min_pts=4,          # DBSCAN density threshold
+        min_confidence=0.3, # minimum pattern confidence
+        distant_threshold=8,  # d: queries >= 8 steps ahead are "distant"
+        recent_window=4,
+    )
+    model = HybridPredictionModel(config).fit(history)
+    print(f"fitted: {len(model.regions_)} frequent regions, "
+          f"{model.pattern_count} trajectory patterns")
+
+    # The object is now moving along its usual route (a new day).
+    now = len(history) + 2
+    recent = [
+        TimedPoint(now - 2, base[0][0] + 5, base[0][1] - 3),
+        TimedPoint(now - 1, base[1][0] - 4, base[1][1] + 6),
+        TimedPoint(now, base[2][0] + 2, base[2][1] + 1),
+    ]
+
+    for horizon, label in ((3, "near-future"), (15, "distant-time")):
+        query_time = now + horizon
+        prediction = model.predict_one(recent, query_time)
+        truth = Point(*base[query_time % period])
+        print(
+            f"{label} query (+{horizon} steps): predicted "
+            f"({prediction.location.x:.0f}, {prediction.location.y:.0f}) "
+            f"via {prediction.method.upper()}; actual route point "
+            f"({truth.x:.0f}, {truth.y:.0f}); error "
+            f"{prediction.location.distance_to(truth):.0f}"
+        )
+        if prediction.pattern is not None:
+            print(f"  winning pattern: {prediction.pattern}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+from setuptools import setup; setup()
+# Kept alongside pyproject.toml so `python setup.py develop` works in
+# offline environments where pip's PEP-517 editable path needs a `wheel`
+# it cannot download.

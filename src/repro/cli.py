@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's operational loop:
+
+* ``synth``    — generate one of the paper's scenario datasets to CSV;
+* ``mine``     — fit an HPM on a trajectory CSV and save the model;
+* ``predict``  — answer a predictive query against a saved model;
+* ``evaluate`` — run an HPM-vs-RMF accuracy comparison on a dataset CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core.config import HPMConfig
+from .core.model import HybridPredictionModel
+from .core.persistence import load_model, save_model
+from .datagen import SCENARIO_NAMES, make_dataset
+from .trajectory.io import load_trajectory, save_trajectory
+from .trajectory.point import TimedPoint
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid Prediction Model for moving objects (ICDE 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="generate a scenario dataset CSV")
+    synth.add_argument("scenario", choices=SCENARIO_NAMES)
+    synth.add_argument("-o", "--output", required=True, help="output CSV path")
+    synth.add_argument("--subtrajectories", type=int, default=80)
+    synth.add_argument("--period", type=int, default=300)
+    synth.add_argument("--seed", type=int, default=None)
+
+    mine = sub.add_parser("mine", help="fit an HPM on a trajectory CSV")
+    mine.add_argument("input", help="trajectory CSV (t,x,y)")
+    mine.add_argument("-o", "--output", required=True, help="model .npz path")
+    mine.add_argument("--period", type=int, required=True)
+    mine.add_argument("--eps", type=float, default=30.0)
+    mine.add_argument("--min-pts", type=int, default=4)
+    mine.add_argument("--min-confidence", type=float, default=0.3)
+    mine.add_argument("--distant-threshold", type=int, default=None)
+
+    predict = sub.add_parser("predict", help="query a saved model")
+    predict.add_argument("model", help="model .npz from `repro mine`")
+    predict.add_argument(
+        "--recent",
+        required=True,
+        help="recent movements as 't:x:y,t:x:y,...' (chronological)",
+    )
+    predict.add_argument("--time", type=int, required=True, help="query time tq")
+    predict.add_argument("-k", type=int, default=1, help="number of answers")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="HPM vs RMF accuracy on a trajectory CSV"
+    )
+    evaluate.add_argument("input", help="trajectory CSV (t,x,y)")
+    evaluate.add_argument("--period", type=int, required=True)
+    evaluate.add_argument("--training", type=int, required=True,
+                          help="number of training sub-trajectories")
+    evaluate.add_argument("--length", type=int, default=50,
+                          help="prediction length")
+    evaluate.add_argument("--queries", type=int, default=30)
+    evaluate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_synth(args) -> int:
+    dataset = make_dataset(
+        args.scenario, args.subtrajectories, args.period, seed=args.seed
+    )
+    save_trajectory(dataset.trajectory, args.output)
+    print(
+        f"wrote {args.output}: {args.scenario}, "
+        f"{dataset.num_subtrajectories} sub-trajectories x T={dataset.period}"
+    )
+    return 0
+
+
+def _config_from(args) -> HPMConfig:
+    distant = args.distant_threshold
+    if distant is None:
+        distant = max(1, min(60, args.period // 5))
+    return HPMConfig(
+        period=args.period,
+        eps=args.eps,
+        min_pts=args.min_pts,
+        min_confidence=args.min_confidence,
+        distant_threshold=distant,
+    )
+
+
+def _cmd_mine(args) -> int:
+    trajectory = load_trajectory(args.input)
+    model = HybridPredictionModel(_config_from(args))
+    model.fit(trajectory)
+    save_model(model, args.output)
+    print(
+        f"wrote {args.output}: {len(model.regions_)} frequent regions, "
+        f"{model.pattern_count} trajectory patterns"
+    )
+    return 0
+
+
+def _parse_recent(spec: str) -> list[TimedPoint]:
+    samples = []
+    for chunk in spec.split(","):
+        parts = chunk.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"bad --recent entry {chunk!r}; expected t:x:y"
+            )
+        samples.append(TimedPoint(int(parts[0]), float(parts[1]), float(parts[2])))
+    return samples
+
+
+def _cmd_predict(args) -> int:
+    model = load_model(args.model)
+    recent = _parse_recent(args.recent)
+    predictions = model.predict(recent, args.time, k=args.k)
+    for rank, p in enumerate(predictions, 1):
+        extra = f" score={p.score:.3f}" if p.score is not None else ""
+        pattern = f" pattern={p.pattern}" if p.pattern is not None else ""
+        print(
+            f"#{rank} ({p.location.x:.1f}, {p.location.y:.1f}) "
+            f"method={p.method}{extra}{pattern}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .evalx.harness import evaluate_hpm, evaluate_rmf
+    from .evalx.workloads import generate_queries
+    from .trajectory.dataset import TrajectoryDataset
+
+    trajectory = load_trajectory(args.input)
+    dataset = TrajectoryDataset(
+        name=Path(args.input).stem, trajectory=trajectory, period=args.period
+    )
+
+    class _A:  # reuse the mine-config plumbing
+        period = args.period
+        eps = 30.0
+        min_pts = 4
+        min_confidence = 0.3
+        distant_threshold = None
+
+    model = HybridPredictionModel(_config_from(_A))
+    model.fit(dataset.training_split(args.training))
+    workload = generate_queries(
+        dataset,
+        prediction_length=args.length,
+        num_queries=args.queries,
+        num_training_subtrajectories=args.training,
+        rng=np.random.default_rng(args.seed),
+    )
+    hpm = evaluate_hpm(model, workload)
+    rmf = evaluate_rmf(workload)
+    print(f"patterns: {model.pattern_count}")
+    print(f"HPM: mean error {hpm.mean_error:.1f} ({hpm.mean_query_ms:.2f} ms/query)")
+    print(f"RMF: mean error {rmf.mean_error:.1f} ({rmf.mean_query_ms:.2f} ms/query)")
+    print(f"HPM answered via: {hpm.method_counts}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "synth": _cmd_synth,
+        "mine": _cmd_mine,
+        "predict": _cmd_predict,
+        "evaluate": _cmd_evaluate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Clustering substrate: grid-accelerated DBSCAN for frequent-region discovery."""
+
+from .dbscan import NOISE, DBSCANResult, dbscan
+from .grid_index import GridIndex
+
+__all__ = ["NOISE", "DBSCANResult", "GridIndex", "dbscan"]

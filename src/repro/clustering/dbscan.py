@@ -1,0 +1,111 @@
+"""DBSCAN (Ester et al., KDD 1996), implemented from scratch.
+
+The paper discovers frequent regions by running DBSCAN over each offset
+group ``G_t`` (Section IV): "They then apply the density-based clustering
+algorithm DBSCAN to find clusters (frequent regions) for each time offset t.
+In this case, MinPts and Eps parameters of DBSCAN play the same role as
+support of mining frequent item sets."
+
+This is the classic label-propagation formulation: a point with at least
+``min_pts`` neighbours within ``eps`` (itself included) is a *core* point;
+clusters are the maximal sets of density-connected core points plus their
+border points; everything else is noise (label ``-1``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .grid_index import GridIndex
+
+__all__ = ["NOISE", "dbscan", "DBSCANResult"]
+
+NOISE = -1
+_UNVISITED = -2
+
+
+@dataclass(frozen=True)
+class DBSCANResult:
+    """Outcome of a DBSCAN run.
+
+    Attributes
+    ----------
+    labels:
+        ``(n,)`` int array; cluster id per point, ``-1`` for noise.
+        Cluster ids are contiguous and start at 0, numbered in order of
+        discovery (deterministic given the input order).
+    num_clusters:
+        Number of clusters found.
+    core_mask:
+        ``(n,)`` bool array; ``True`` where the point is a core point.
+    """
+
+    labels: np.ndarray
+    num_clusters: int
+    core_mask: np.ndarray
+
+    def members(self, cluster_id: int) -> np.ndarray:
+        """Indices of points labelled ``cluster_id``."""
+        if not 0 <= cluster_id < self.num_clusters:
+            raise ValueError(
+                f"cluster id {cluster_id} outside [0, {self.num_clusters})"
+            )
+        return np.nonzero(self.labels == cluster_id)[0]
+
+    def noise(self) -> np.ndarray:
+        """Indices of noise points."""
+        return np.nonzero(self.labels == NOISE)[0]
+
+
+def dbscan(points: np.ndarray, eps: float, min_pts: int) -> DBSCANResult:
+    """Cluster ``points`` with DBSCAN.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array.
+    eps:
+        Maximum distance between neighbours (the paper's ``Eps``).
+    min_pts:
+        Minimum neighbourhood size (self-inclusive) for a core point
+        (the paper's ``MinPts``).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+    if min_pts < 1:
+        raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+    n = points.shape[0]
+    labels = np.full(n, _UNVISITED, dtype=np.int64)
+    core_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return DBSCANResult(labels=labels, num_clusters=0, core_mask=core_mask)
+
+    index = GridIndex(points, eps)
+    # Precompute neighbourhoods once; DBSCAN revisits them during expansion.
+    neighborhoods: list[np.ndarray] = [index.neighbors(i) for i in range(n)]
+    core_mask = np.array([len(nb) >= min_pts for nb in neighborhoods], dtype=bool)
+
+    cluster_id = 0
+    for seed in range(n):
+        if labels[seed] != _UNVISITED or not core_mask[seed]:
+            continue
+        # Breadth-first expansion from an unclaimed core point.
+        labels[seed] = cluster_id
+        queue: deque[int] = deque(int(j) for j in neighborhoods[seed])
+        while queue:
+            j = queue.popleft()
+            if labels[j] == NOISE:
+                labels[j] = cluster_id  # border point previously marked noise
+            if labels[j] != _UNVISITED:
+                continue
+            labels[j] = cluster_id
+            if core_mask[j]:
+                queue.extend(int(k) for k in neighborhoods[j])
+        cluster_id += 1
+
+    labels[labels == _UNVISITED] = NOISE
+    return DBSCANResult(labels=labels, num_clusters=cluster_id, core_mask=core_mask)

@@ -1,0 +1,59 @@
+"""Core HPM: frequent regions, trajectory patterns, keys, TPT and prediction."""
+
+from .config import HPMConfig
+from .explain import CandidateExplanation, QueryExplanation, explain_query
+from .fleet import FleetPredictionModel
+from .keys import KeyCodec, PatternKey
+from .model import HybridPredictionModel
+from .online import OnlineTracker
+from .persistence import load_model, save_model
+from .patterns import (
+    PatternMiningStats,
+    TrajectoryPattern,
+    build_transactions,
+    count_rules_unpruned,
+    mine_trajectory_patterns,
+)
+from .prediction import HybridPredictor, Prediction, default_motion_factory
+from .regions import FrequentRegion, RegionSet, discover_frequent_regions
+from .similarity import (
+    WEIGHT_FUNCTIONS,
+    bqp_score,
+    consequence_similarity,
+    fqp_score,
+    premise_similarity,
+    premise_weights,
+)
+from .tpt import TrajectoryPatternTree
+
+__all__ = [
+    "CandidateExplanation",
+    "FleetPredictionModel",
+    "HPMConfig",
+    "HybridPredictionModel",
+    "HybridPredictor",
+    "FrequentRegion",
+    "KeyCodec",
+    "OnlineTracker",
+    "PatternKey",
+    "PatternMiningStats",
+    "Prediction",
+    "QueryExplanation",
+    "RegionSet",
+    "TrajectoryPattern",
+    "TrajectoryPatternTree",
+    "WEIGHT_FUNCTIONS",
+    "bqp_score",
+    "build_transactions",
+    "consequence_similarity",
+    "count_rules_unpruned",
+    "default_motion_factory",
+    "discover_frequent_regions",
+    "explain_query",
+    "fqp_score",
+    "load_model",
+    "mine_trajectory_patterns",
+    "premise_similarity",
+    "premise_weights",
+    "save_model",
+]

@@ -1,0 +1,158 @@
+"""Configuration for the Hybrid Prediction Model.
+
+Defaults follow the paper's experimental setup (Section VII-A): k = 1,
+T implied by the dataset, distant-time threshold d = 60, DBSCAN Eps = 30 and
+MinPts = 4, minimum confidence 0.3, time relaxation 1 <= t_eps <= 3 (we
+default to 2), and linear premise weights (Section VI-A reports the linear
+and quadratic weight functions predict best).
+
+Two knobs are reproduction-specific and documented in DESIGN.md:
+
+* ``max_premise_length`` / ``max_premise_span`` bound the mined premise to
+  at most that many regions spanning at most that many consecutive time
+  offsets.  The paper's premises are short recent-movement prefixes (all
+  worked examples use 1-2 regions at adjacent offsets); an unbounded
+  Apriori over 300-offset transactions would enumerate astronomically many
+  patterns that no query could ever rank first.
+* ``min_support`` is the absolute itemset support; the paper folds support
+  into MinPts/Eps, so it defaults to MinPts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["HPMConfig"]
+
+_WEIGHT_FUNCTIONS = ("linear", "quadratic", "exponential", "factorial")
+
+
+@dataclass(frozen=True)
+class HPMConfig:
+    """All tunables of the Hybrid Prediction Model in one immutable record.
+
+    Attributes
+    ----------
+    period:
+        The pattern period ``T`` (timestamps per sub-trajectory).
+    eps:
+        DBSCAN neighbourhood radius for frequent-region discovery.
+    min_pts:
+        DBSCAN core-point threshold.
+    min_confidence:
+        Minimum rule confidence for a trajectory pattern.
+    min_support:
+        Absolute itemset support; ``None`` means "use ``min_pts``" (the
+        paper treats MinPts/Eps as the support analogue).
+    distant_threshold:
+        ``d`` of Definition 2 — queries with ``tq >= tc + d`` are distant
+        and answered by BQP.
+    time_relaxation:
+        ``t_eps`` of Algorithm 3 (consequence-offset interval half-width).
+    top_k:
+        Number of predicted locations returned.
+    weight_function:
+        Premise-weight family: ``linear``, ``quadratic``, ``exponential``
+        or ``factorial`` (Section VI-A).
+    max_premise_length:
+        Maximum number of regions in a pattern premise.
+    max_premise_span:
+        Maximum offset distance between the first and last premise region.
+    max_consequence_gap:
+        Maximum offset distance between the last premise region and the
+        consequence; ``None`` derives ``distant_threshold + recent_window``
+        (enough for every FQP retrieval — farther queries are BQP, which
+        matches by consequence offset alone; see DESIGN.md).
+    far_premise_stride:
+        Offset stride of the single-region *far* premises mined beyond the
+        gap cap (they carry BQP's premise-similarity signal to distant
+        consequences).
+    recent_window:
+        Number of trailing samples treated as "recent movements" when
+        mapping a query to frequent regions and when fitting the fallback
+        motion function.
+    tree_max_entries / tree_min_entries:
+        TPT node capacity and minimum fill.
+    """
+
+    period: int = 300
+    eps: float = 30.0
+    min_pts: int = 4
+    min_confidence: float = 0.3
+    min_support: int | None = None
+    distant_threshold: int = 60
+    time_relaxation: int = 2
+    top_k: int = 1
+    weight_function: str = "linear"
+    max_premise_length: int = 2
+    max_premise_span: int = 2
+    max_consequence_gap: int | None = None
+    far_premise_stride: int = 5
+    recent_window: int = 10
+    tree_max_entries: int = 32
+    tree_min_entries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.eps <= 0:
+            raise ValueError(f"eps must be positive, got {self.eps}")
+        if self.min_pts < 1:
+            raise ValueError(f"min_pts must be >= 1, got {self.min_pts}")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if self.min_support is not None and self.min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {self.min_support}")
+        if not 0 < self.distant_threshold < self.period:
+            raise ValueError(
+                "distant_threshold must satisfy 0 < d < period "
+                f"(Definition 2), got {self.distant_threshold}"
+            )
+        if self.time_relaxation < 1:
+            raise ValueError(
+                f"time_relaxation must be >= 1, got {self.time_relaxation}"
+            )
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.weight_function not in _WEIGHT_FUNCTIONS:
+            raise ValueError(
+                f"weight_function must be one of {_WEIGHT_FUNCTIONS}, "
+                f"got {self.weight_function!r}"
+            )
+        if self.max_premise_length < 1:
+            raise ValueError(
+                f"max_premise_length must be >= 1, got {self.max_premise_length}"
+            )
+        if self.max_premise_span < 1:
+            raise ValueError(
+                f"max_premise_span must be >= 1, got {self.max_premise_span}"
+            )
+        if self.max_consequence_gap is not None and self.max_consequence_gap < 1:
+            raise ValueError(
+                "max_consequence_gap must be >= 1 or None, "
+                f"got {self.max_consequence_gap}"
+            )
+        if self.far_premise_stride < 1:
+            raise ValueError(
+                f"far_premise_stride must be >= 1, got {self.far_premise_stride}"
+            )
+        if self.recent_window < 2:
+            raise ValueError(f"recent_window must be >= 2, got {self.recent_window}")
+
+    @property
+    def effective_min_support(self) -> int:
+        """The itemset support threshold actually used by the miner."""
+        return self.min_pts if self.min_support is None else self.min_support
+
+    @property
+    def effective_max_consequence_gap(self) -> int:
+        """The consequence-gap cap actually used by the miner."""
+        if self.max_consequence_gap is not None:
+            return self.max_consequence_gap
+        return self.distant_threshold + self.recent_window
+
+    def with_overrides(self, **kwargs) -> "HPMConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **kwargs)

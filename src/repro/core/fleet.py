@@ -1,0 +1,155 @@
+"""Multi-object management: one HPM per moving object.
+
+The paper's model is per-object ("an object's trajectory patterns"), but
+any deployment — a taxi fleet, a herd, an airline — tracks many objects
+at once.  :class:`FleetPredictionModel` manages a collection of
+independent :class:`~repro.core.model.HybridPredictionModel` instances
+behind one fit/update/predict interface keyed by object id, with shared
+configuration and aggregate introspection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..motion.base import MotionFunctionFactory
+from ..trajectory.point import TimedPoint
+from ..trajectory.trajectory import Trajectory
+from .config import HPMConfig
+from .model import HybridPredictionModel
+from .prediction import Prediction, default_motion_factory
+
+__all__ = ["FleetPredictionModel"]
+
+
+class FleetPredictionModel:
+    """A keyed collection of per-object Hybrid Prediction Models.
+
+    Parameters
+    ----------
+    config:
+        Shared configuration for every object's model.
+    motion_factory:
+        Shared fallback motion-function factory.
+    """
+
+    def __init__(
+        self,
+        config: HPMConfig | None = None,
+        motion_factory: MotionFunctionFactory = default_motion_factory,
+        **overrides,
+    ):
+        if config is None:
+            config = HPMConfig(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.motion_factory = motion_factory
+        self._models: dict[str, HybridPredictionModel] = {}
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, object_id: str) -> bool:
+        return object_id in self._models
+
+    def object_ids(self) -> list[str]:
+        """Tracked object ids, sorted."""
+        return sorted(self._models)
+
+    def __getitem__(self, object_id: str) -> HybridPredictionModel:
+        try:
+            return self._models[object_id]
+        except KeyError:
+            raise KeyError(f"unknown object {object_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, histories: Mapping[str, Trajectory]) -> "FleetPredictionModel":
+        """Fit (or refit) one model per object history."""
+        if not histories:
+            raise ValueError("no object histories supplied")
+        for object_id, trajectory in histories.items():
+            model = HybridPredictionModel(self.config, self.motion_factory)
+            model.fit(trajectory)
+            self._models[object_id] = model
+        return self
+
+    def fit_object(self, object_id: str, trajectory: Trajectory) -> HybridPredictionModel:
+        """Fit (or refit) a single object's model and return it."""
+        model = HybridPredictionModel(self.config, self.motion_factory)
+        model.fit(trajectory)
+        self._models[object_id] = model
+        return model
+
+    def update_object(
+        self, object_id: str, new_positions: np.ndarray | Sequence[Sequence[float]]
+    ) -> HybridPredictionModel:
+        """Stream new movements into one object's model."""
+        model = self[object_id]
+        model.update(new_positions)
+        return model
+
+    def drop_object(self, object_id: str) -> None:
+        """Stop tracking an object."""
+        if object_id not in self._models:
+            raise KeyError(f"unknown object {object_id!r}")
+        del self._models[object_id]
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        object_id: str,
+        recent: Sequence[TimedPoint],
+        query_time: int,
+        k: int | None = None,
+    ) -> list[Prediction]:
+        """Predictive query against one object's model."""
+        return self[object_id].predict(recent, query_time, k)
+
+    def predict_all(
+        self,
+        recents: Mapping[str, Sequence[TimedPoint]],
+        query_time: int,
+    ) -> dict[str, Prediction]:
+        """Top-1 prediction for every supplied object at one query time.
+
+        Objects missing from ``recents`` are skipped; unknown ids raise.
+        """
+        return {
+            object_id: self[object_id].predict_one(list(recent), query_time)
+            for object_id, recent in recents.items()
+        }
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def total_patterns(self) -> int:
+        """Sum of pattern-corpus sizes across the fleet."""
+        return sum(m.pattern_count for m in self._models.values())
+
+    def summary(self) -> list[dict]:
+        """One row per object: regions, patterns, history length."""
+        rows = []
+        for object_id in self.object_ids():
+            model = self._models[object_id]
+            rows.append(
+                {
+                    "object_id": object_id,
+                    "history_length": len(model.history_),
+                    "num_regions": len(model.regions_),
+                    "num_patterns": model.pattern_count,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return f"FleetPredictionModel(objects={len(self)}, period={self.config.period})"

@@ -1,0 +1,280 @@
+"""Pattern-key encoding (Section V-A, Tables I–III).
+
+A *pattern key* symbolises a trajectory pattern as a bitmap:
+
+* **Region key** — frequent regions are sorted by time offset and given ids
+  in that order; region ``id`` hashes to key ``2^id``.  The key length
+  ``l_p`` equals the number of frequent regions.
+* **Premise key** — bitwise OR of the region keys of the premise regions.
+  Property 1: within a premise key, a '1' at a higher (right-to-left)
+  position belongs to a region whose offset is closer to the consequence.
+* **Consequence key** — the distinct time offsets appearing among pattern
+  consequences are sorted and given time-ids with the same ``2^id`` hash;
+  the key length equals the number of such offsets.
+* **Pattern key** — "we place the consequence key first followed by the
+  premise key": ``value = (consequence_key << l_p) | premise_key``.
+
+The paper's key operations (Union/Size/Contain/Difference) are inherited
+from :mod:`repro.signature.bitset`; the pattern-key-specific ``Intersect``
+(common '1's on *both* the consequence and the premise parts) lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..signature import bitset
+from .patterns import TrajectoryPattern
+from .regions import FrequentRegion, RegionSet
+
+__all__ = ["PatternKey", "KeyCodec"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternKey:
+    """A concrete pattern key with its two-part geometry.
+
+    ``value`` packs the consequence key above ``premise_length`` premise
+    bits.  Keys from the same codec share geometry and are directly
+    comparable with the operations below.
+    """
+
+    value: int
+    premise_length: int
+    consequence_length: int
+
+    def __post_init__(self) -> None:
+        if self.premise_length < 1:
+            raise ValueError(f"premise_length must be >= 1, got {self.premise_length}")
+        if self.consequence_length < 0:
+            raise ValueError(
+                f"consequence_length must be >= 0, got {self.consequence_length}"
+            )
+        if self.value < 0:
+            raise ValueError(f"key value must be non-negative, got {self.value}")
+        if self.value >> (self.premise_length + self.consequence_length):
+            raise ValueError("key value has bits beyond its declared geometry")
+
+    @property
+    def premise_key(self) -> int:
+        """The low ``premise_length`` bits (``rk``)."""
+        return self.value & ((1 << self.premise_length) - 1)
+
+    @property
+    def consequence_key(self) -> int:
+        """The bits above the premise part (``ck``)."""
+        return self.value >> self.premise_length
+
+    @property
+    def width(self) -> int:
+        """Total key width in bits."""
+        return self.premise_length + self.consequence_length
+
+    def intersects(self, other: "PatternKey") -> bool:
+        """The paper's ``Intersect``: common '1's on both ck and rk parts."""
+        self._check_compatible(other)
+        return (
+            self.consequence_key & other.consequence_key != 0
+            and self.premise_key & other.premise_key != 0
+        )
+
+    def contains(self, other: "PatternKey") -> bool:
+        """The paper's ``Contain`` on full key values."""
+        self._check_compatible(other)
+        return bitset.contain(self.value, other.value)
+
+    def difference(self, other: "PatternKey") -> int:
+        """The paper's ``Difference(self, other)`` on full key values."""
+        self._check_compatible(other)
+        return bitset.difference(self.value, other.value)
+
+    def size(self) -> int:
+        """The paper's ``Size`` — number of set bits."""
+        return bitset.size(self.value)
+
+    def to_bit_string(self) -> str:
+        """Paper-style rendering, consequence key before premise key."""
+        return bitset.to_bit_string(self.value, self.width)
+
+    def _check_compatible(self, other: "PatternKey") -> None:
+        if (
+            self.premise_length != other.premise_length
+            or self.consequence_length != other.consequence_length
+        ):
+            raise ValueError(
+                "pattern keys from different codecs are not comparable "
+                f"({self.premise_length}+{self.consequence_length} vs "
+                f"{other.premise_length}+{other.consequence_length})"
+            )
+
+
+class KeyCodec:
+    """Region-key and consequence-key tables for one mined pattern corpus.
+
+    Parameters
+    ----------
+    regions:
+        The region set; its canonical (offset, index) order defines the
+        region ids (Table I).
+    consequence_offsets:
+        The distinct time offsets appearing among pattern consequences
+        (Table II).  Usually derived via :meth:`from_patterns`.
+    """
+
+    def __init__(self, regions: RegionSet, consequence_offsets: Iterable[int]):
+        if len(regions) == 0:
+            raise ValueError("cannot build a codec over zero frequent regions")
+        self._regions = regions
+        offsets = sorted(set(consequence_offsets))
+        for t in offsets:
+            if not 0 <= t < regions.period:
+                raise ValueError(f"consequence offset {t} outside [0, {regions.period})")
+        self._offset_ids = {t: i for i, t in enumerate(offsets)}
+        self._offsets = offsets
+
+    @classmethod
+    def from_patterns(
+        cls, regions: RegionSet, patterns: Sequence[TrajectoryPattern]
+    ) -> "KeyCodec":
+        """Codec covering exactly the consequences of ``patterns``."""
+        return cls(regions, (p.consequence_offset for p in patterns))
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> RegionSet:
+        """The region set backing the region-key table."""
+        return self._regions
+
+    @property
+    def premise_length(self) -> int:
+        """``l_p`` — the region-key width (one bit per frequent region)."""
+        return len(self._regions)
+
+    @property
+    def consequence_length(self) -> int:
+        """Consequence-key width (one bit per consequence offset)."""
+        return len(self._offsets)
+
+    @property
+    def pattern_key_length(self) -> int:
+        """Total pattern-key width in bits."""
+        return self.premise_length + self.consequence_length
+
+    def consequence_offsets(self) -> list[int]:
+        """The consequence-key table's offsets, ascending."""
+        return list(self._offsets)
+
+    def covers(self, pattern: TrajectoryPattern) -> bool:
+        """Whether this codec can encode ``pattern`` without growing."""
+        try:
+            for region in pattern.premise:
+                self._regions.region_id(region)
+            self._regions.region_id(pattern.consequence)
+        except KeyError:
+            return False
+        return pattern.consequence_offset in self._offset_ids
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def region_key(self, region: FrequentRegion) -> int:
+        """Table I's hash ``2^id`` for one region."""
+        return 1 << self._regions.region_id(region)
+
+    def premise_key(self, premise: Iterable[FrequentRegion]) -> int:
+        """OR of the region keys of the premise regions."""
+        key = 0
+        for region in premise:
+            key |= self.region_key(region)
+        return key
+
+    def consequence_key(self, offset: int) -> int | None:
+        """Table II's hash for a consequence offset; ``None`` if unknown."""
+        time_id = self._offset_ids.get(offset)
+        return None if time_id is None else 1 << time_id
+
+    def consequence_mask(self, offsets: Iterable[int]) -> int:
+        """OR of the consequence keys of all *known* offsets in ``offsets``.
+
+        Unknown offsets contribute nothing — BQP widens its interval until
+        the mask is non-empty or the interval hits the current time.
+        """
+        mask = 0
+        for t in offsets:
+            key = self.consequence_key(t)
+            if key is not None:
+                mask |= key
+        return mask
+
+    def encode_pattern(self, pattern: TrajectoryPattern) -> PatternKey:
+        """Pattern key of a mined trajectory pattern (Table III)."""
+        ck = self.consequence_key(pattern.consequence_offset)
+        if ck is None:
+            raise ValueError(
+                f"consequence offset {pattern.consequence_offset} not in the "
+                "consequence-key table; rebuild the codec"
+            )
+        rk = self.premise_key(pattern.premise)
+        return self._combine(ck, rk)
+
+    def encode_query(
+        self, recent_regions: Iterable[FrequentRegion], query_offset: int
+    ) -> PatternKey:
+        """Query pattern key (Section V-C).
+
+        The premise key encodes the frequent regions the object visited
+        recently; the consequence key encodes ``tq mod T`` — zero when that
+        offset never appears as a consequence (no FQP candidate can match).
+        """
+        ck = self.consequence_key(query_offset % self._regions.period) or 0
+        rk = self.premise_key(recent_regions)
+        return self._combine(ck, rk)
+
+    def _combine(self, ck: int, rk: int) -> PatternKey:
+        return PatternKey(
+            value=(ck << self.premise_length) | rk,
+            premise_length=self.premise_length,
+            consequence_length=self.consequence_length,
+        )
+
+    def wrap(self, value: int) -> PatternKey:
+        """View a raw stored key value through this codec's geometry."""
+        return PatternKey(
+            value=value,
+            premise_length=self.premise_length,
+            consequence_length=self.consequence_length,
+        )
+
+    # ------------------------------------------------------------------
+    # presentation (the paper's tables)
+    # ------------------------------------------------------------------
+    def region_key_table(self) -> list[tuple[str, int, str]]:
+        """Rows of Table I: (region label, region id, region key bits)."""
+        return [
+            (
+                region.label,
+                self._regions.region_id(region),
+                bitset.to_bit_string(self.region_key(region), self.premise_length),
+            )
+            for region in self._regions
+        ]
+
+    def consequence_key_table(self) -> list[tuple[int, int, str]]:
+        """Rows of Table II: (time offset, time id, consequence key bits)."""
+        return [
+            (
+                t,
+                self._offset_ids[t],
+                bitset.to_bit_string(1 << self._offset_ids[t], self.consequence_length),
+            )
+            for t in self._offsets
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyCodec(premise_length={self.premise_length}, "
+            f"consequence_length={self.consequence_length})"
+        )

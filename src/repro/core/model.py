@@ -1,0 +1,337 @@
+"""The public HPM facade: fit on history, predict future locations.
+
+Typical use::
+
+    from repro import HybridPredictionModel, HPMConfig
+
+    model = HybridPredictionModel(HPMConfig(period=300, eps=30, min_pts=4))
+    model.fit(history)                      # a repro.trajectory.Trajectory
+    predictions = model.predict(recent, query_time)
+
+``fit`` runs the full offline pipeline of Sections IV and V — frequent-
+region discovery, pruned pattern mining, key-table construction, TPT
+build — and wires up the Section VI query processor.  When the history is
+too weak to yield any pattern the model degrades to its motion function
+(the paper's fallback), so ``predict`` always answers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..motion.base import MotionFunctionFactory
+from ..trajectory.point import TimedPoint
+from ..trajectory.trajectory import Trajectory
+from .config import HPMConfig
+from .keys import KeyCodec
+from .patterns import PatternMiningStats, TrajectoryPattern, mine_trajectory_patterns
+from .prediction import HybridPredictor, Prediction, default_motion_factory
+from .regions import RegionSet, discover_frequent_regions
+from .tpt import TrajectoryPatternTree
+
+__all__ = ["HybridPredictionModel"]
+
+
+class HybridPredictionModel:
+    """End-to-end Hybrid Prediction Model (the paper's HPM).
+
+    Parameters
+    ----------
+    config:
+        A full :class:`HPMConfig`; keyword overrides may be passed instead
+        (``HybridPredictionModel(period=300, eps=25)``).
+    motion_factory:
+        Zero-argument callable producing a fresh motion function per
+        fallback query (default: RMF, the paper's choice).
+    """
+
+    def __init__(
+        self,
+        config: HPMConfig | None = None,
+        motion_factory: MotionFunctionFactory = default_motion_factory,
+        **overrides,
+    ):
+        if config is None:
+            config = HPMConfig(**overrides)
+        elif overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.motion_factory = motion_factory
+        self._history: Trajectory | None = None
+        self._regions: RegionSet | None = None
+        self._patterns: list[TrajectoryPattern] = []
+        self._mining_stats: PatternMiningStats | None = None
+        self._codec: KeyCodec | None = None
+        self._tree: TrajectoryPatternTree | None = None
+        self._predictor: HybridPredictor | None = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, trajectory: Trajectory) -> "HybridPredictionModel":
+        """Mine patterns from ``trajectory`` and build the TPT."""
+        if len(trajectory) < self.config.period:
+            raise ValueError(
+                f"history of {len(trajectory)} samples is shorter than one "
+                f"period ({self.config.period}); nothing periodic to mine"
+            )
+        self._history = trajectory
+        self._rebuild()
+        return self
+
+    def update(self, new_positions: np.ndarray | Sequence[Sequence[float]]) -> "HybridPredictionModel":
+        """Append newly observed movements and refresh the pattern corpus.
+
+        The paper's dynamic-data path mines patterns from the accumulated
+        history and adds new ones to the TPT with the insertion algorithm;
+        when the key tables must grow (new frequent regions or consequence
+        offsets), the index is re-encoded instead (see DESIGN.md).
+        """
+        self._require_fitted()
+        assert self._history is not None
+        appended = np.vstack(
+            [self._history.positions, np.asarray(new_positions, dtype=np.float64)]
+        )
+        self._history = Trajectory(appended, start_time=self._history.start_time)
+
+        old_codec = self._codec
+        old_by_identity = {
+            (p.premise, p.consequence): p for p in self._patterns
+        }
+        self._mine(self._history)
+        if (
+            old_codec is not None
+            and self._tree is not None
+            and all(old_codec.covers(p) for p in self._patterns)
+        ):
+            # Same key geometry: keep the tree.  New patterns go in via
+            # Algorithm 1 (the paper's dynamic insertion); re-mined
+            # patterns whose confidence/support moved replace their stale
+            # entry.  Patterns that no longer clear the thresholds are
+            # retired.
+            new_identities = set()
+            for pattern in self._patterns:
+                identity = (pattern.premise, pattern.consequence)
+                new_identities.add(identity)
+                old = old_by_identity.get(identity)
+                if old is None:
+                    self._tree.insert_pattern(pattern)
+                elif (
+                    old.confidence != pattern.confidence
+                    or old.support != pattern.support
+                ):
+                    self._tree.remove_pattern(old)
+                    self._tree.insert_pattern(pattern)
+            for identity, old in old_by_identity.items():
+                if identity not in new_identities:
+                    self._tree.remove_pattern(old)
+            self._refresh_predictor()
+        else:
+            self._build_index()
+        return self
+
+    def _rebuild(self) -> None:
+        assert self._history is not None
+        self._mine(self._history)
+        self._build_index()
+
+    def _restore(
+        self,
+        history: Trajectory,
+        regions: RegionSet,
+        patterns: list[TrajectoryPattern],
+    ) -> None:
+        """Install pre-mined state (used by :mod:`repro.core.persistence`)."""
+        self._history = history
+        self._regions = regions
+        self._patterns = list(patterns)
+        self._mining_stats = PatternMiningStats(
+            num_transactions=(len(history) + self.config.period - 1)
+            // self.config.period,
+            num_frequent_items=len(regions),
+            num_frequent_premises=0,
+            num_patterns=len(patterns),
+        )
+        self._build_index()
+
+    def _mine(self, trajectory: Trajectory) -> None:
+        cfg = self.config
+        self._regions = discover_frequent_regions(
+            trajectory, period=cfg.period, eps=cfg.eps, min_pts=cfg.min_pts
+        )
+        num_subs = (len(trajectory) + cfg.period - 1) // cfg.period
+        if len(self._regions) == 0:
+            self._patterns = []
+            self._mining_stats = PatternMiningStats(
+                num_transactions=num_subs,
+                num_frequent_items=0,
+                num_frequent_premises=0,
+                num_patterns=0,
+            )
+            return
+        patterns, stats = mine_trajectory_patterns(
+            self._regions,
+            num_subtrajectories=num_subs,
+            min_support=cfg.effective_min_support,
+            min_confidence=cfg.min_confidence,
+            max_premise_length=cfg.max_premise_length,
+            max_premise_span=cfg.max_premise_span,
+            max_consequence_gap=cfg.effective_max_consequence_gap,
+            far_premise_stride=cfg.far_premise_stride,
+            return_stats=True,
+        )
+        self._patterns = patterns
+        self._mining_stats = stats
+
+    def _build_index(self) -> None:
+        assert self._regions is not None
+        if len(self._regions) == 0 or not self._patterns:
+            # Pattern-free degenerate mode: every query falls back to the
+            # motion function, exactly as Algorithms 2/3 prescribe when no
+            # candidate exists.
+            self._codec = None
+            self._tree = None
+            self._predictor = None
+            return
+        self._codec = KeyCodec.from_patterns(self._regions, self._patterns)
+        self._tree = TrajectoryPatternTree(
+            self._codec,
+            max_entries=self.config.tree_max_entries,
+            min_entries=self.config.tree_min_entries,
+        )
+        self._tree.bulk_load_patterns(self._patterns)
+        self._refresh_predictor()
+
+    def _refresh_predictor(self) -> None:
+        assert self._regions is not None
+        assert self._codec is not None and self._tree is not None
+        self._predictor = HybridPredictor(
+            regions=self._regions,
+            codec=self._codec,
+            tree=self._tree,
+            config=self.config,
+            motion_factory=self.motion_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        recent: Sequence[TimedPoint],
+        query_time: int,
+        k: int | None = None,
+    ) -> list[Prediction]:
+        """Answer a predictive query (see :meth:`HybridPredictor.predict`)."""
+        self._require_fitted()
+        if self._predictor is not None:
+            return self._predictor.predict(recent, query_time, k)
+        # Pattern-free mode: motion function only.
+        fallback = HybridPredictor.__new__(HybridPredictor)
+        raise_if_empty = list(recent)
+        if not raise_if_empty:
+            raise ValueError("recent movements must be non-empty")
+        fallback.config = self.config
+        fallback.motion_factory = self.motion_factory
+        fallback.stats = {"fqp": 0, "bqp": 0, "motion": 0}
+        return [fallback._motion_prediction(raise_if_empty, query_time)]
+
+    def predict_one(self, recent: Sequence[TimedPoint], query_time: int) -> Prediction:
+        """Top-1 convenience wrapper."""
+        return self.predict(recent, query_time, k=1)[0]
+
+    def predict_trajectory(
+        self,
+        recent: Sequence[TimedPoint],
+        t_from: int,
+        t_to: int,
+        step: int = 1,
+    ) -> list[tuple[int, Prediction]]:
+        """Top-1 predictions over ``[t_from, t_to]`` at the given stride.
+
+        See :meth:`HybridPredictor.predict_trajectory`; in pattern-free
+        mode every timestamp is answered by the motion fallback.
+        """
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if t_to < t_from:
+            raise ValueError(f"empty range [{t_from}, {t_to}]")
+        self._require_fitted()
+        if self._predictor is not None:
+            return self._predictor.predict_trajectory(recent, t_from, t_to, step)
+        return [
+            (t, self.predict_one(recent, t)) for t in range(t_from, t_to + 1, step)
+        ]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._history is not None
+
+    @property
+    def history_(self) -> Trajectory:
+        """The accumulated training trajectory."""
+        self._require_fitted()
+        assert self._history is not None
+        return self._history
+
+    @property
+    def regions_(self) -> RegionSet:
+        """Frequent regions discovered by the last fit/update."""
+        self._require_fitted()
+        assert self._regions is not None
+        return self._regions
+
+    @property
+    def patterns_(self) -> list[TrajectoryPattern]:
+        """The mined trajectory patterns."""
+        self._require_fitted()
+        return list(self._patterns)
+
+    @property
+    def mining_stats_(self) -> PatternMiningStats:
+        """Bookkeeping from the last mining run."""
+        self._require_fitted()
+        assert self._mining_stats is not None
+        return self._mining_stats
+
+    @property
+    def codec_(self) -> KeyCodec | None:
+        """Key tables (``None`` in pattern-free mode)."""
+        self._require_fitted()
+        return self._codec
+
+    @property
+    def tree_(self) -> TrajectoryPatternTree | None:
+        """The TPT (``None`` in pattern-free mode)."""
+        self._require_fitted()
+        return self._tree
+
+    @property
+    def predictor_(self) -> HybridPredictor | None:
+        """The live query processor (``None`` in pattern-free mode)."""
+        self._require_fitted()
+        return self._predictor
+
+    @property
+    def pattern_count(self) -> int:
+        """Number of mined patterns."""
+        self._require_fitted()
+        return len(self._patterns)
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def __repr__(self) -> str:
+        if not self.is_fitted:
+            return "HybridPredictionModel(unfitted)"
+        return (
+            f"HybridPredictionModel(regions={len(self._regions or [])}, "
+            f"patterns={len(self._patterns)})"
+        )

@@ -1,0 +1,128 @@
+"""Online prediction: feed fixes as they arrive, query any time.
+
+:class:`HybridPredictor` expects the caller to assemble the
+recent-movement window per query; a live tracker instead *streams* fixes.
+:class:`OnlineTracker` buffers the newest window per object, forwards
+queries to a fitted model, and accumulates observed day fragments so the
+model can be refreshed with :meth:`flush_updates` once enough new data
+has arrived (the paper's "when a certain amount of new data is
+accumulated" trigger, made explicit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..trajectory.point import TimedPoint
+from .model import HybridPredictionModel
+from .prediction import Prediction
+
+__all__ = ["OnlineTracker"]
+
+
+class OnlineTracker:
+    """Streaming front-end over a fitted :class:`HybridPredictionModel`.
+
+    Parameters
+    ----------
+    model:
+        A fitted model (its ``recent_window`` sets the buffer length).
+    update_after:
+        Number of buffered-but-unflushed fixes that makes
+        :attr:`update_due` true; ``None`` disables the suggestion (the
+        caller can still flush manually).
+    """
+
+    def __init__(
+        self,
+        model: HybridPredictionModel,
+        update_after: int | None = None,
+    ):
+        if not model.is_fitted:
+            raise ValueError("OnlineTracker needs a fitted model")
+        if update_after is not None and update_after < 1:
+            raise ValueError(f"update_after must be >= 1, got {update_after}")
+        self.model = model
+        self.update_after = update_after
+        self._window: deque[TimedPoint] = deque(
+            maxlen=model.config.recent_window
+        )
+        self._pending: list[TimedPoint] = []
+
+    # ------------------------------------------------------------------
+    # streaming input
+    # ------------------------------------------------------------------
+    def observe(self, t: int, x: float, y: float) -> None:
+        """Ingest one fix; timestamps must be strictly increasing."""
+        if self._window and t <= self._window[-1].t:
+            raise ValueError(
+                f"fix at t={t} is not after the last observed "
+                f"t={self._window[-1].t}"
+            )
+        sample = TimedPoint(t, float(x), float(y))
+        self._window.append(sample)
+        self._pending.append(sample)
+
+    @property
+    def current_time(self) -> int:
+        """Timestamp of the newest fix."""
+        if not self._window:
+            raise ValueError("no fixes observed yet")
+        return self._window[-1].t
+
+    @property
+    def window(self) -> list[TimedPoint]:
+        """The buffered recent-movement window (oldest first)."""
+        return list(self._window)
+
+    @property
+    def pending_count(self) -> int:
+        """Fixes observed since the last :meth:`flush_updates`."""
+        return len(self._pending)
+
+    @property
+    def update_due(self) -> bool:
+        """Whether enough new data has accumulated to refresh the model."""
+        return (
+            self.update_after is not None
+            and len(self._pending) >= self.update_after
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def predict(self, query_time: int, k: int | None = None) -> list[Prediction]:
+        """Predictive query from the buffered window."""
+        if not self._window:
+            raise ValueError("no fixes observed yet")
+        return self.model.predict(self.window, query_time, k)
+
+    def predict_in(self, horizon: int, k: int | None = None) -> list[Prediction]:
+        """Convenience: predict ``horizon`` ticks after the newest fix."""
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        return self.predict(self.current_time + horizon, k)
+
+    # ------------------------------------------------------------------
+    # model refresh
+    # ------------------------------------------------------------------
+    def flush_updates(self) -> int:
+        """Feed the accumulated fixes into the model's dynamic-update path.
+
+        Returns the number of fixes flushed.  Positions are appended to
+        the model's history verbatim; the model re-mines and inserts or
+        rebuilds as needed (see :meth:`HybridPredictionModel.update`).
+        """
+        if not self._pending:
+            return 0
+        positions = [[p.x, p.y] for p in self._pending]
+        self.model.update(positions)
+        flushed = len(self._pending)
+        self._pending = []
+        return flushed
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineTracker(window={len(self._window)}/"
+            f"{self._window.maxlen}, pending={len(self._pending)})"
+        )

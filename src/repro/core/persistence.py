@@ -1,0 +1,166 @@
+"""Saving and loading fitted models.
+
+Mining is the expensive phase (DBSCAN over every offset group plus the
+rule lattice); deployments fit once and answer queries for days.  A
+fitted :class:`~repro.core.model.HybridPredictionModel` serialises to a
+single ``.npz`` archive:
+
+* config and metadata as a JSON blob;
+* the training history as one array (so ``update`` keeps working after a
+  reload);
+* regions as packed arrays (points concatenated with an index);
+* patterns as integer tables referencing regions by their canonical id.
+
+The TPT is *not* stored — it rebuilds from the patterns in well under a
+second via the bottom-up bulk load, which keeps the format trivial and
+version-stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..trajectory.trajectory import Trajectory
+from .config import HPMConfig
+from .model import HybridPredictionModel
+from .patterns import TrajectoryPattern
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: HybridPredictionModel, path: str | Path) -> None:
+    """Serialise a fitted model to ``path`` (.npz)."""
+    if not model.is_fitted:
+        raise ValueError("cannot save an unfitted model")
+    path = Path(path)
+    regions = model.regions_
+    history = model.history_
+
+    region_rows = []
+    points_blocks = []
+    sub_id_blocks = []
+    for region in regions:
+        region_rows.append(
+            [
+                region.offset,
+                region.index,
+                len(region.points),
+                len(region.subtrajectory_ids),
+            ]
+        )
+        points_blocks.append(region.points)
+        sub_id_blocks.append(np.asarray(region.subtrajectory_ids, dtype=np.int64))
+
+    # Patterns as integer tables: premise region ids (padded with -1),
+    # consequence id, support; confidences as a float column.
+    max_premise = max((len(p.premise) for p in model.patterns_), default=1)
+    pattern_rows = np.full(
+        (len(model.patterns_), max_premise + 2), -1, dtype=np.int64
+    )
+    confidences = np.empty(len(model.patterns_), dtype=np.float64)
+    for i, pattern in enumerate(model.patterns_):
+        for j, region in enumerate(pattern.premise):
+            pattern_rows[i, j] = regions.region_id(region)
+        pattern_rows[i, max_premise] = regions.region_id(pattern.consequence)
+        pattern_rows[i, max_premise + 1] = pattern.support
+        confidences[i] = pattern.confidence
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(model.config),
+        "history_start_time": history.start_time,
+        "max_premise": max_premise,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        history=history.positions,
+        region_rows=np.asarray(region_rows, dtype=np.int64).reshape(-1, 4),
+        region_points=(
+            np.vstack(points_blocks) if points_blocks else np.empty((0, 2))
+        ),
+        region_sub_ids=(
+            np.concatenate(sub_id_blocks)
+            if sub_id_blocks
+            else np.empty(0, dtype=np.int64)
+        ),
+        pattern_rows=pattern_rows,
+        confidences=confidences,
+    )
+
+
+def load_model(path: str | Path) -> HybridPredictionModel:
+    """Reload a model saved by :func:`save_model`.
+
+    Regions and patterns are restored verbatim (no re-mining); the TPT is
+    rebuilt by bulk load.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported model format {meta.get('format_version')}"
+            )
+        config = HPMConfig(**meta["config"])
+        history = Trajectory(
+            archive["history"], start_time=int(meta["history_start_time"])
+        )
+        region_rows = archive["region_rows"]
+        region_points = archive["region_points"]
+        region_sub_ids = archive["region_sub_ids"]
+        pattern_rows = archive["pattern_rows"]
+        confidences = archive["confidences"]
+
+    from ..trajectory.point import BoundingBox, Point
+    from .regions import FrequentRegion, RegionSet
+
+    regions_list = []
+    point_cursor = 0
+    sub_cursor = 0
+    for offset, index, num_points, num_subs in region_rows:
+        points = region_points[point_cursor : point_cursor + num_points].copy()
+        point_cursor += num_points
+        sub_ids = tuple(
+            int(s) for s in region_sub_ids[sub_cursor : sub_cursor + num_subs]
+        )
+        sub_cursor += num_subs
+        center = points.mean(axis=0)
+        regions_list.append(
+            FrequentRegion(
+                offset=int(offset),
+                index=int(index),
+                center=Point(float(center[0]), float(center[1])),
+                points=points,
+                bbox=BoundingBox.from_points(
+                    [(float(x), float(y)) for x, y in points]
+                ),
+                subtrajectory_ids=sub_ids,
+            )
+        )
+    region_set = RegionSet(regions_list, period=config.period, eps=config.eps)
+
+    max_premise = int(meta["max_premise"])
+    patterns = []
+    for row, confidence in zip(pattern_rows, confidences):
+        premise = tuple(
+            region_set[int(rid)] for rid in row[:max_premise] if rid >= 0
+        )
+        patterns.append(
+            TrajectoryPattern(
+                premise=premise,
+                consequence=region_set[int(row[max_premise])],
+                support=int(row[max_premise + 1]),
+                confidence=float(confidence),
+            )
+        )
+
+    model = HybridPredictionModel(config)
+    model._restore(history, region_set, patterns)
+    return model

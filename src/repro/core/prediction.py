@@ -1,0 +1,311 @@
+"""The Hybrid Prediction Algorithm (Section VI, Algorithms 2 and 3).
+
+Given an object's recent movements and a query time the predictor:
+
+* dispatches to **Forward Query Processing** (Algorithm 2) for non-distant
+  queries — retrieve the TPT patterns whose premise intersects the recent
+  regions and whose consequence offset equals the query offset, rank by
+  ``S_p = S_r x c`` (Eq. 2), return the top-k consequence centers;
+* dispatches to **Backward Query Processing** (Algorithm 3) for distant
+  queries (``tq >= tc + d``, Definition 2) — retrieve patterns whose
+  consequence offset falls in ``[tq - i·t_eps, tq + i·t_eps]``, enlarging
+  ``i`` while the interval stays future-side of ``tc``; rank by
+  ``S_p = (S_r x d/(tq - tc) + S_c) x c`` (Eq. 5);
+* falls back to the configured motion function (RMF by default) whenever
+  no pattern qualifies — the "hybrid" in HPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..motion.base import MotionFunction, MotionFunctionFactory
+from ..motion.linear import LinearMotionFunction
+from ..motion.rmf import RecursiveMotionFunction
+from ..trajectory.point import Point, TimedPoint
+from .config import HPMConfig
+from .keys import KeyCodec, PatternKey
+from .patterns import TrajectoryPattern
+from .regions import FrequentRegion, RegionSet
+from .similarity import bqp_score, consequence_similarity, fqp_score, premise_similarity
+from .tpt import TrajectoryPatternTree
+
+__all__ = ["Prediction", "HybridPredictor", "default_motion_factory"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One predicted location with its provenance.
+
+    ``method`` is ``"fqp"``, ``"bqp"`` or ``"motion"``; for pattern-based
+    answers ``pattern`` is the winning trajectory pattern and ``score`` its
+    ranking weight ``S_p``.
+    """
+
+    location: Point
+    method: str
+    score: float | None = None
+    pattern: TrajectoryPattern | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("fqp", "bqp", "motion"):
+            raise ValueError(f"unknown prediction method {self.method!r}")
+
+
+def default_motion_factory() -> MotionFunction:
+    """The paper's choice: RMF, "since it has higher accuracy than others"."""
+    return RecursiveMotionFunction()
+
+
+class HybridPredictor:
+    """Query processor over a mined pattern corpus.
+
+    Built by :class:`repro.core.model.HybridPredictionModel`; constructable
+    directly for tests and custom pipelines.
+    """
+
+    def __init__(
+        self,
+        regions: RegionSet,
+        codec: KeyCodec,
+        tree: TrajectoryPatternTree,
+        config: HPMConfig,
+        motion_factory: MotionFunctionFactory = default_motion_factory,
+    ):
+        self.regions = regions
+        self.codec = codec
+        self.tree = tree
+        self.config = config
+        self.motion_factory = motion_factory
+        # Diagnostics: how many queries each path answered (Fig. 10's cost
+        # analysis hinges on the motion-fallback rate).
+        self.stats = {"fqp": 0, "bqp": 0, "motion": 0}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        recent: Sequence[TimedPoint],
+        query_time: int,
+        k: int | None = None,
+    ) -> list[Prediction]:
+        """Answer a predictive query.
+
+        Parameters
+        ----------
+        recent:
+            The object's recent movements ``m_q`` (chronological); the last
+            sample's timestamp is the current time ``tc``.
+        query_time:
+            The (future) query time ``tq``.
+        k:
+            Number of results; defaults to ``config.top_k``.
+        """
+        recent = list(recent)
+        if not recent:
+            raise ValueError("recent movements must be non-empty")
+        k = self.config.top_k if k is None else k
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        tc = recent[-1].t
+        if query_time <= tc:
+            raise ValueError(
+                f"query time {query_time} must be after the current time {tc}"
+            )
+        if self._is_distant(tc, query_time):
+            return self.backward_query(recent, query_time, k)
+        return self.forward_query(recent, query_time, k)
+
+    def predict_one(self, recent: Sequence[TimedPoint], query_time: int) -> Prediction:
+        """Top-1 convenience wrapper around :meth:`predict`."""
+        return self.predict(recent, query_time, k=1)[0]
+
+    def predict_trajectory(
+        self,
+        recent: Sequence[TimedPoint],
+        t_from: int,
+        t_to: int,
+        step: int = 1,
+    ) -> list[tuple[int, Prediction]]:
+        """Top-1 predictions over a future time range (inclusive bounds).
+
+        An extension of the paper's point queries: each timestamp in
+        ``range(t_from, t_to + 1, step)`` is answered independently, so the
+        result transitions from FQP through BQP as the horizon crosses the
+        distant-time threshold.
+        """
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if t_to < t_from:
+            raise ValueError(f"empty range [{t_from}, {t_to}]")
+        return [
+            (t, self.predict_one(recent, t))
+            for t in range(t_from, t_to + 1, step)
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: Forward Query Processing
+    # ------------------------------------------------------------------
+    def forward_query(
+        self, recent: Sequence[TimedPoint], query_time: int, k: int
+    ) -> list[Prediction]:
+        """FQP: premise-and-consequence constrained pattern retrieval."""
+        recent_regions = self.map_recent_to_regions(recent)
+        query_key = self.codec.encode_query(
+            recent_regions, query_time % self.config.period
+        )
+        candidates = self.tree.search_candidates(query_key)
+        if not candidates:
+            return [self._motion_prediction(recent, query_time)]
+        ranked = self._rank_fqp(candidates, query_key)
+        self.stats["fqp"] += 1
+        return [
+            Prediction(
+                location=pattern.consequence.center,
+                method="fqp",
+                score=score,
+                pattern=pattern,
+            )
+            for score, pattern in ranked[:k]
+        ]
+
+    def _rank_fqp(
+        self,
+        candidates: Sequence[tuple[TrajectoryPattern, PatternKey]],
+        query_key: PatternKey,
+    ) -> list[tuple[float, TrajectoryPattern]]:
+        scored: list[tuple[float, TrajectoryPattern]] = []
+        for pattern, key in candidates:
+            sr = premise_similarity(
+                key.premise_key, query_key.premise_key, self.config.weight_function
+            )
+            scored.append((fqp_score(sr, pattern.confidence), pattern))
+        scored.sort(key=lambda sp: (-sp[0], -sp[1].confidence, -sp[1].support))
+        return scored
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: Backward Query Processing
+    # ------------------------------------------------------------------
+    def backward_query(
+        self, recent: Sequence[TimedPoint], query_time: int, k: int
+    ) -> list[Prediction]:
+        """BQP: consequence-interval retrieval with incremental enlargement."""
+        tc = recent[-1].t
+        recent_regions = self.map_recent_to_regions(recent)
+        query_key = self.codec.encode_query(
+            recent_regions, query_time % self.config.period
+        )
+        t_eps = self.config.time_relaxation
+
+        i = 1
+        while True:
+            relaxation = i * t_eps
+            lo = query_time - relaxation
+            hi = query_time + relaxation
+            offsets = {t % self.config.period for t in range(lo, hi + 1)}
+            mask = self.codec.consequence_mask(offsets)
+            candidates = self.tree.search_by_consequence(mask)
+            if candidates:
+                ranked = self._rank_bqp(
+                    candidates, query_key, tc, query_time, relaxation
+                )
+                self.stats["bqp"] += 1
+                return [
+                    Prediction(
+                        location=pattern.consequence.center,
+                        method="bqp",
+                        score=score,
+                        pattern=pattern,
+                    )
+                    for score, pattern in ranked[:k]
+                ]
+            i += 1
+            if query_time - i * t_eps <= tc:
+                return [self._motion_prediction(recent, query_time)]
+
+    def _rank_bqp(
+        self,
+        candidates: Sequence[tuple[TrajectoryPattern, PatternKey]],
+        query_key: PatternKey,
+        tc: int,
+        query_time: int,
+        relaxation: int,
+    ) -> list[tuple[float, TrajectoryPattern]]:
+        horizon = query_time - tc
+        scored: list[tuple[float, TrajectoryPattern]] = []
+        for pattern, key in candidates:
+            sr = premise_similarity(
+                key.premise_key, query_key.premise_key, self.config.weight_function
+            )
+            sc = consequence_similarity(
+                self._offset_distance(pattern.consequence_offset, query_time),
+                relaxation,
+            )
+            score = bqp_score(
+                sr, sc, pattern.confidence, self.config.distant_threshold, horizon
+            )
+            scored.append((score, pattern))
+        scored.sort(key=lambda sp: (-sp[0], -sp[1].confidence, -sp[1].support))
+        return scored
+
+    def _offset_distance(self, consequence_offset: int, query_time: int) -> int:
+        """Circular distance between a consequence offset and ``tq mod T``."""
+        period = self.config.period
+        diff = abs(consequence_offset - query_time % period) % period
+        return min(diff, period - diff)
+
+    # ------------------------------------------------------------------
+    # shared machinery
+    # ------------------------------------------------------------------
+    def map_recent_to_regions(
+        self, recent: Sequence[TimedPoint]
+    ) -> list[FrequentRegion]:
+        """Map recent movements onto the frequent regions they pass through.
+
+        Section V-C: "we investigate which frequent regions the object has
+        visited recently from ``m_q``".  Only the trailing
+        ``config.recent_window`` samples are considered; duplicates are
+        collapsed.
+        """
+        window = list(recent)[-self.config.recent_window :]
+        seen: list[FrequentRegion] = []
+        for sample in window:
+            region = self.regions.locate(
+                sample.point, sample.t % self.config.period
+            )
+            if region is not None and region not in seen:
+                seen.append(region)
+        return seen
+
+    def _is_distant(self, tc: int, tq: int) -> bool:
+        """Definition 2: ``tq >= tc + d``."""
+        return tq - tc >= self.config.distant_threshold
+
+    def _motion_prediction(
+        self, recent: Sequence[TimedPoint], query_time: int
+    ) -> Prediction:
+        """The "Call motion function" fallback with graceful degradation.
+
+        Tries the configured motion function on the recent window; when the
+        window is too short (e.g. fewer samples than RMF's retrospect), a
+        linear model is tried; with fewer than two samples the object is
+        assumed stationary at its last known location.
+        """
+        self.stats["motion"] += 1
+        window = list(recent)[-self.config.recent_window :]
+        try:
+            func = self.motion_factory()
+            func.fit(window)
+            return Prediction(location=func.predict(query_time), method="motion")
+        except ValueError:
+            pass
+        if len(window) >= 2:
+            try:
+                linear = LinearMotionFunction()
+                linear.fit(window)
+                return Prediction(location=linear.predict(query_time), method="motion")
+            except ValueError:
+                pass
+        return Prediction(location=window[-1].point, method="motion")

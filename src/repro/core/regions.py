@@ -1,0 +1,205 @@
+"""Frequent regions ``R_t^j`` and their discovery (Section IV, Fig. 2).
+
+"All locations from ``ceil(n/T)`` sub-trajectories which have the same time
+offset ``t`` of ``T`` will be gathered onto one group ``G_t`` ... A
+clustering method is then applied to find dense clusters ``R_t`` in each
+``G_t`` ... ``R_t`` symbolizes the region inside of which the object may
+often appear at time offset ``t``.  We call ``R_t`` a frequent region at
+``t``.  More than one frequent region at time offset ``t`` can exist ...
+we use ``R_t^j`` to represent the j-th frequent region at time offset t."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..clustering.dbscan import dbscan
+from ..trajectory.point import BoundingBox, Point
+from ..trajectory.trajectory import Trajectory
+
+__all__ = ["FrequentRegion", "RegionSet", "discover_frequent_regions"]
+
+
+@dataclass(frozen=True)
+class FrequentRegion:
+    """One dense cluster of an offset group.
+
+    Attributes
+    ----------
+    offset:
+        Time offset ``t`` within the period.
+    index:
+        ``j`` — the cluster's rank within its offset (discovery order).
+    center:
+        Cluster centroid; FQP/BQP return consequence centers as answers.
+    points:
+        The ``(m, 2)`` member locations.
+    bbox:
+        Axis-aligned bounds of the members.
+    subtrajectory_ids:
+        Which sub-trajectory contributed each member point.
+    """
+
+    offset: int
+    index: int
+    center: Point
+    points: np.ndarray
+    bbox: BoundingBox
+    subtrajectory_ids: tuple[int, ...]
+
+    @property
+    def support(self) -> int:
+        """Number of distinct sub-trajectories visiting the region."""
+        return len(set(self.subtrajectory_ids))
+
+    @property
+    def label(self) -> str:
+        """Paper notation, e.g. ``R_4^0``."""
+        return f"R_{self.offset}^{self.index}"
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def __str__(self) -> str:
+        return self.label
+
+    def __hash__(self) -> int:
+        return hash((self.offset, self.index))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequentRegion):
+            return NotImplemented
+        return self.offset == other.offset and self.index == other.index
+
+
+class RegionSet:
+    """All frequent regions of one object, with membership lookup.
+
+    Regions are kept in the paper's canonical order — sorted by
+    ``(offset, index)`` — which also defines the region-id assignment used
+    by the key tables (Section V-A: "we sort all the frequent regions by
+    the time offset associated with the regions; unique region ids are
+    given to each frequent region according to the order").
+
+    Membership of an arbitrary location uses DBSCAN's density semantics: a
+    point belongs to ``R_t^j`` when it lies within ``eps`` of one of the
+    region's member points.  Per-region KD-trees make this O(log m).
+    """
+
+    def __init__(self, regions: Sequence[FrequentRegion], period: int, eps: float):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.period = period
+        self.eps = float(eps)
+        self._regions = sorted(regions, key=lambda r: (r.offset, r.index))
+        for r in self._regions:
+            if not 0 <= r.offset < period:
+                raise ValueError(
+                    f"region {r.label} offset outside [0, {period})"
+                )
+        self._ids = {region: i for i, region in enumerate(self._regions)}
+        if len(self._ids) != len(self._regions):
+            raise ValueError("duplicate (offset, index) among regions")
+        self._by_offset: dict[int, list[FrequentRegion]] = {}
+        for region in self._regions:
+            self._by_offset.setdefault(region.offset, []).append(region)
+        self._trees = {region: cKDTree(region.points) for region in self._regions}
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[FrequentRegion]:
+        return iter(self._regions)
+
+    def __getitem__(self, region_id: int) -> FrequentRegion:
+        return self._regions[region_id]
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def region_id(self, region: FrequentRegion) -> int:
+        """Global id of ``region`` under the canonical (offset, index) order."""
+        try:
+            return self._ids[region]
+        except KeyError:
+            raise KeyError(f"{region.label} is not part of this region set") from None
+
+    def at_offset(self, offset: int) -> list[FrequentRegion]:
+        """All frequent regions at time offset ``offset`` (may be empty)."""
+        if not 0 <= offset < self.period:
+            raise ValueError(f"offset {offset} outside [0, {self.period})")
+        return list(self._by_offset.get(offset, ()))
+
+    def offsets(self) -> list[int]:
+        """Sorted offsets that have at least one frequent region."""
+        return sorted(self._by_offset)
+
+    def locate(self, point: Point | tuple[float, float], offset: int) -> FrequentRegion | None:
+        """The frequent region at ``offset`` containing ``point``, if any.
+
+        "Containing" means within ``eps`` of a member point (density
+        membership).  When several regions qualify (possible at region
+        borders) the closest member wins.
+        """
+        candidates = self.at_offset(offset)
+        if not candidates:
+            return None
+        xy = (point.x, point.y) if isinstance(point, Point) else (point[0], point[1])
+        best: FrequentRegion | None = None
+        best_dist = self.eps
+        for region in candidates:
+            dist, _ = self._trees[region].query(xy, k=1)
+            if dist <= best_dist:
+                best = region
+                best_dist = dist
+        return best
+
+    def __repr__(self) -> str:
+        return f"RegionSet(regions={len(self)}, period={self.period}, eps={self.eps})"
+
+
+def discover_frequent_regions(
+    trajectory: Trajectory,
+    period: int,
+    eps: float,
+    min_pts: int,
+) -> RegionSet:
+    """Run the paper's frequent-region discovery over a training trajectory.
+
+    For every time offset ``t`` the offset group ``G_t`` is clustered with
+    DBSCAN(eps, min_pts); each resulting cluster becomes a frequent region
+    ``R_t^j`` with ``j`` numbered in cluster-discovery order.
+    """
+    regions: list[FrequentRegion] = []
+    for group in trajectory.offset_groups(period):
+        if len(group) == 0:
+            continue
+        result = dbscan(group.positions, eps=eps, min_pts=min_pts)
+        for j in range(result.num_clusters):
+            member_idx = result.members(j)
+            points = group.positions[member_idx]
+            centroid = points.mean(axis=0)
+            regions.append(
+                FrequentRegion(
+                    offset=group.offset,
+                    index=j,
+                    center=Point(float(centroid[0]), float(centroid[1])),
+                    points=points,
+                    bbox=BoundingBox.from_points(
+                        [(float(x), float(y)) for x, y in points]
+                    ),
+                    subtrajectory_ids=tuple(
+                        int(s) for s in group.subtrajectory_ids[member_idx]
+                    ),
+                )
+            )
+    return RegionSet(regions, period=period, eps=eps)

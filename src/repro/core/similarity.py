@@ -1,0 +1,151 @@
+"""Similarity measures and ranking scores (Section VI-A, Equations 1–5).
+
+Premise similarity weights the common '1's of a pattern's premise key and
+the query's premise key by how close their regions are to the consequence:
+"the '1' with a higher position in the premise key is more important than
+the '1' with a lower position" (Property 1).  Position ``i`` is the
+right-to-left rank of a '1' *within the pattern's premise key* ``rk``, and
+its weight comes from one of four normalised families:
+
+* linear       ``w_i = i / Σ i``
+* quadratic    ``w_i = i² / Σ i²``
+* exponential  ``w_i = 2^i / Σ 2^i``
+* factorial    ``w_i = i! / Σ i!``
+
+The paper reports the linear and quadratic families predict best.
+
+Worked examples from the paper (covered by tests):
+``S_r(00011, 00011) = 1``; ``S_r(00011, 00010) = 2/3``;
+``S_p(1000011, 1000011) = 1 x 0.5 = 0.5``;
+``S_p(1000101, 1000011) = 0.33 x 0.4 = 0.132``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..signature import bitset
+from .keys import PatternKey
+
+__all__ = [
+    "WEIGHT_FUNCTIONS",
+    "premise_weights",
+    "premise_similarity",
+    "consequence_similarity",
+    "fqp_score",
+    "bqp_score",
+    "query_similarity",
+]
+
+
+WEIGHT_FUNCTIONS: dict[str, Callable[[int], float]] = {
+    "linear": float,
+    "quadratic": lambda i: float(i * i),
+    "exponential": lambda i: float(2**i),
+    "factorial": lambda i: float(math.factorial(i)),
+}
+
+
+def premise_weights(num_ones: int, kind: str = "linear") -> list[float]:
+    """Normalised weights ``w_1 .. w_n`` for a premise key with ``n`` ones.
+
+    ``w_i`` is the importance of the i-th '1' counted right-to-left; the
+    weights sum to 1, so a full match yields similarity 1.
+    """
+    try:
+        raw = WEIGHT_FUNCTIONS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown weight function {kind!r}; choose from "
+            f"{sorted(WEIGHT_FUNCTIONS)}"
+        ) from None
+    if num_ones < 0:
+        raise ValueError(f"num_ones must be >= 0, got {num_ones}")
+    if num_ones == 0:
+        return []
+    values = [raw(i) for i in range(1, num_ones + 1)]
+    total = sum(values)
+    return [v / total for v in values]
+
+
+def premise_similarity(rk: int, rkq: int, kind: str = "linear") -> float:
+    """Equation 1: weighted overlap of pattern premise ``rk`` with query ``rkq``.
+
+    Sums the weights of the '1's of ``rk`` that also appear in ``rkq``; the
+    position/weight of each '1' is its rank within ``rk`` itself, so a
+    pattern whose *recent-side* premise regions match the query scores
+    higher than one matching only early regions.
+    """
+    if rk < 0 or rkq < 0:
+        raise ValueError("premise keys are non-negative")
+    n = bitset.size(rk)
+    if n == 0:
+        return 0.0
+    weights = premise_weights(n, kind)
+    common = rk & rkq
+    score = 0.0
+    for bit_index in bitset.iter_set_bits(common):
+        rank = bitset.position_of_bit(rk, bit_index)  # 1-based, right-to-left
+        score += weights[rank - 1]
+    return score
+
+
+def consequence_similarity(offset_distance: int, relaxation: int) -> float:
+    """Equation 3: ``S_c = 1 - |tq - t| / (t_eps + 1)``.
+
+    ``offset_distance`` is ``|tq - t|`` between the query time and the
+    candidate consequence's time; ``relaxation`` is the *effective*
+    relaxation half-width of the interval the candidate was drawn from
+    (``i x t_eps`` after ``i`` BQP enlargements — using the enlarged width
+    keeps ``S_c`` in [0, 1], see DESIGN.md).
+    """
+    if offset_distance < 0:
+        raise ValueError(f"offset_distance must be >= 0, got {offset_distance}")
+    if relaxation < 0:
+        raise ValueError(f"relaxation must be >= 0, got {relaxation}")
+    value = 1.0 - offset_distance / (relaxation + 1)
+    return max(0.0, value)
+
+
+def fqp_score(premise_sim: float, confidence: float) -> float:
+    """Equation 2: ``S_p = S_r x c`` — compound probability of independent evidence."""
+    _check_unit("premise_sim", premise_sim)
+    _check_unit("confidence", confidence)
+    return premise_sim * confidence
+
+
+def bqp_score(
+    premise_sim: float,
+    consequence_sim: float,
+    confidence: float,
+    distant_threshold: int,
+    horizon: int,
+) -> float:
+    """Equation 5: ``S_p = (S_r x d/(tq - tc) + S_c) x c``.
+
+    ``horizon = tq - tc`` is the prediction length; the ``d / horizon``
+    factor (<= 1 for distant queries) penalises the premise evidence as the
+    query moves further from the current time.
+    """
+    _check_unit("premise_sim", premise_sim)
+    _check_unit("consequence_sim", consequence_sim)
+    _check_unit("confidence", confidence)
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if distant_threshold <= 0:
+        raise ValueError(
+            f"distant_threshold must be positive, got {distant_threshold}"
+        )
+    penalty = min(1.0, distant_threshold / horizon)
+    return (premise_sim * penalty + consequence_sim) * confidence
+
+
+def query_similarity(pattern_key: PatternKey, query_key: PatternKey, kind: str) -> float:
+    """Premise similarity between two full pattern keys (convenience)."""
+    return premise_similarity(pattern_key.premise_key, query_key.premise_key, kind)
+
+
+def _check_unit(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,183 @@
+"""The periodic trajectory generator (after Mamoulis et al. [10]).
+
+Section VII: "We then generated 199 similar trajectories having T = 300 to
+each original trajectory ... we modified the periodic data generator [10]
+to be able to produce trajectories implying patterns.  We set most
+parameters of the generator to the same values as the study except the
+probability f that a generated trajectory was similar to the given
+trajectory."
+
+For every sub-trajectory (one period):
+
+* with probability ``f`` the object follows one of its routes (picked by
+  route weight — e.g. weekday vs weekend) plus Gaussian jitter — a
+  *patterned* day;
+* otherwise it wanders on a correlated random walk from the route start —
+  a *pattern-free* day contributing noise to every offset group.
+
+The finished trajectory is normalised to ``[0, extent]²`` to match the
+paper's data space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trajectory.trajectory import Trajectory
+from .noise import detour, gaussian_jitter, random_walk
+from .routes import Route
+
+__all__ = ["WeightedRoute", "PeriodicTrajectoryGenerator"]
+
+
+@dataclass(frozen=True)
+class WeightedRoute:
+    """A route with its selection weight (relative frequency of use)."""
+
+    route: Route
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"route weight must be positive, got {self.weight}")
+
+
+class PeriodicTrajectoryGenerator:
+    """Synthesises a long periodic trajectory from one or more routes.
+
+    Parameters
+    ----------
+    routes:
+        The object's habitual routes with selection weights.
+    pattern_probability:
+        The paper's ``f`` — chance a sub-trajectory follows a route.
+    noise_sigma:
+        GPS jitter scale on patterned days (in route units, pre-normalise).
+    deviation_mode:
+        What a pattern-free day looks like: ``"detour"`` (default) drifts
+        smoothly around the chosen route — the object still travels its
+        general course but off the habitual line; ``"walk"`` abandons the
+        route entirely for a correlated random walk (used for the weakly
+        patterned Airplane dataset).
+    deviation_amplitude:
+        Peak drift of a detour day (ignored for ``"walk"``); ``None``
+        derives 6 % of the extent.
+    deviation_step_scale:
+        Random-walk step scale on ``"walk"`` days; ``None`` derives it
+        from the first route's mean per-step displacement.
+    phase_jitter:
+        Half-width of the per-day uniform schedule shift (fraction of the
+        period).  Zero keeps every patterned day perfectly offset-aligned;
+        larger values smear positions across offsets, weakening the
+        clusters DBSCAN can find — this is the dial that turns a Bike-like
+        dataset into an Airplane-like one.
+    extent:
+        Output data-space size; positions are normalised to
+        ``[0, extent]²`` (the paper uses 10000).
+    """
+
+    def __init__(
+        self,
+        routes: list[WeightedRoute] | list[Route],
+        pattern_probability: float,
+        noise_sigma: float,
+        deviation_mode: str = "detour",
+        deviation_amplitude: float | None = None,
+        deviation_step_scale: float | None = None,
+        phase_jitter: float = 0.0,
+        extent: float = 10000.0,
+    ):
+        if not routes:
+            raise ValueError("need at least one route")
+        normalised: list[WeightedRoute] = []
+        for r in routes:
+            normalised.append(r if isinstance(r, WeightedRoute) else WeightedRoute(r))
+        if not 0.0 <= pattern_probability <= 1.0:
+            raise ValueError(
+                f"pattern_probability must be in [0, 1], got {pattern_probability}"
+            )
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if deviation_mode not in ("detour", "walk"):
+            raise ValueError(
+                f"deviation_mode must be 'detour' or 'walk', got {deviation_mode!r}"
+            )
+        if deviation_amplitude is not None and deviation_amplitude < 0:
+            raise ValueError(
+                f"deviation_amplitude must be non-negative, got {deviation_amplitude}"
+            )
+        if not 0.0 <= phase_jitter < 0.5:
+            raise ValueError(f"phase_jitter must be in [0, 0.5), got {phase_jitter}")
+        if extent <= 0:
+            raise ValueError(f"extent must be positive, got {extent}")
+        self.routes = normalised
+        self.pattern_probability = pattern_probability
+        self.noise_sigma = noise_sigma
+        self.deviation_mode = deviation_mode
+        self.deviation_amplitude = (
+            0.06 * extent if deviation_amplitude is None else float(deviation_amplitude)
+        )
+        self.deviation_step_scale = deviation_step_scale
+        self.phase_jitter = phase_jitter
+        self.extent = float(extent)
+
+    def generate(
+        self,
+        num_subtrajectories: int,
+        period: int,
+        rng: np.random.Generator,
+    ) -> Trajectory:
+        """Generate ``num_subtrajectories`` periods of ``period`` samples each."""
+        if num_subtrajectories < 1:
+            raise ValueError(
+                f"num_subtrajectories must be >= 1, got {num_subtrajectories}"
+            )
+        if period < 2:
+            raise ValueError(f"period must be >= 2, got {period}")
+
+        weights = np.array([r.weight for r in self.routes], dtype=np.float64)
+        weights /= weights.sum()
+        reference = self.routes[0].route.sample(period)
+        step_scale = self.deviation_step_scale
+        if step_scale is None:
+            steps = np.linalg.norm(np.diff(reference, axis=0), axis=1)
+            step_scale = float(steps.mean()) if steps.size else 1.0
+
+        blocks: list[np.ndarray] = []
+        for _ in range(num_subtrajectories):
+            route_idx = int(rng.choice(len(self.routes), p=weights))
+            route = self.routes[route_idx].route
+            if rng.random() < self.pattern_probability:
+                phase = (
+                    float(rng.uniform(-self.phase_jitter, self.phase_jitter))
+                    if self.phase_jitter > 0
+                    else 0.0
+                )
+                base = route.sample(period, phase=phase)
+                block = gaussian_jitter(base, self.noise_sigma, rng)
+            elif self.deviation_mode == "detour":
+                block = detour(route.sample(period), self.deviation_amplitude, rng)
+            else:
+                block = random_walk(
+                    route.sample(period)[0], period, step_scale, rng
+                )
+            blocks.append(block)
+
+        positions = np.vstack(blocks)
+        return Trajectory(self._normalise(positions))
+
+    def _normalise(self, positions: np.ndarray) -> np.ndarray:
+        """Affine-map positions into ``[0, extent]²`` preserving aspect ratio.
+
+        A single uniform scale keeps route geometry (turn angles, relative
+        region sizes) intact, as the paper's normalisation does.
+        """
+        mins = positions.min(axis=0)
+        maxs = positions.max(axis=0)
+        span = float((maxs - mins).max())
+        if span == 0:
+            return np.full_like(positions, self.extent / 2.0)
+        scale = self.extent / span
+        return (positions - mins) * scale

@@ -1,0 +1,122 @@
+"""Synthetic road network for the Car scenario.
+
+The paper's Car dataset "has many sudden changes of direction on road
+intersections" — the property that breaks motion-function extrapolation.
+We model it with a perturbed grid graph (networkx): intersections sit on a
+jittered lattice, a fraction of edges is removed (keeping the graph
+connected), and routes are shortest paths, which produce the sharp 90°-ish
+turns the paper relies on.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .routes import Route
+
+__all__ = ["RoadNetwork"]
+
+
+class RoadNetwork:
+    """A jittered-grid road graph with shortest-path routing.
+
+    Parameters
+    ----------
+    grid_size:
+        Number of intersections per side.
+    extent:
+        The network spans ``[0, extent]²``.
+    removal_fraction:
+        Fraction of edges to randomly remove (connectivity preserved).
+    jitter_fraction:
+        Intersection displacement as a fraction of the cell size.
+    rng:
+        Randomness source.
+    """
+
+    def __init__(
+        self,
+        grid_size: int = 10,
+        extent: float = 10000.0,
+        removal_fraction: float = 0.2,
+        jitter_fraction: float = 0.15,
+        rng: np.random.Generator | None = None,
+    ):
+        if grid_size < 2:
+            raise ValueError(f"grid_size must be >= 2, got {grid_size}")
+        if extent <= 0:
+            raise ValueError(f"extent must be positive, got {extent}")
+        if not 0.0 <= removal_fraction < 1.0:
+            raise ValueError(
+                f"removal_fraction must be in [0, 1), got {removal_fraction}"
+            )
+        if rng is None:
+            rng = np.random.default_rng()
+        self.extent = float(extent)
+        cell = extent / (grid_size - 1)
+
+        graph = nx.grid_2d_graph(grid_size, grid_size)
+        # Jittered intersection coordinates.
+        coords: dict[tuple[int, int], np.ndarray] = {}
+        for node in graph.nodes:
+            base = np.array([node[0] * cell, node[1] * cell])
+            coords[node] = base + rng.normal(0.0, jitter_fraction * cell, 2)
+
+        # Remove a random subset of edges without disconnecting the graph.
+        edges = list(graph.edges)
+        rng.shuffle(edges)
+        to_remove = int(removal_fraction * len(edges))
+        removed = 0
+        for edge in edges:
+            if removed >= to_remove:
+                break
+            graph.remove_edge(*edge)
+            if nx.is_connected(graph):
+                removed += 1
+            else:
+                graph.add_edge(*edge)
+
+        for u, v in graph.edges:
+            graph.edges[u, v]["length"] = float(np.linalg.norm(coords[u] - coords[v]))
+
+        self.graph = graph
+        self.coords = coords
+        self._nodes = list(graph.nodes)
+        self._rng = rng
+
+    @property
+    def num_intersections(self) -> int:
+        """Number of intersections in the network."""
+        return len(self._nodes)
+
+    def nearest_node(self, x: float, y: float) -> tuple[int, int]:
+        """The intersection closest to ``(x, y)``."""
+        target = np.array([x, y])
+        return min(
+            self._nodes,
+            key=lambda n: float(np.linalg.norm(self.coords[n] - target)),
+        )
+
+    def route_between(
+        self, start: tuple[float, float], end: tuple[float, float], name: str = "drive"
+    ) -> Route:
+        """Shortest-path route between the intersections nearest the endpoints."""
+        a = self.nearest_node(*start)
+        b = self.nearest_node(*end)
+        if a == b:
+            raise ValueError("start and end map to the same intersection")
+        path = nx.shortest_path(self.graph, a, b, weight="length")
+        waypoints = np.array([self.coords[n] for n in path])
+        return Route(waypoints, name=name)
+
+    def random_route(self, rng: np.random.Generator | None = None, name: str = "drive") -> Route:
+        """Shortest path between two random distinct intersections."""
+        rng = rng or self._rng
+        idx = rng.choice(len(self._nodes), size=2, replace=False)
+        a, b = self._nodes[int(idx[0])], self._nodes[int(idx[1])]
+        path = nx.shortest_path(self.graph, a, b, weight="length")
+        if len(path) < 2:
+            return self.random_route(rng, name)
+        waypoints = np.array([self.coords[n] for n in path])
+        return Route(waypoints, name=name)

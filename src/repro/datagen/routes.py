@@ -1,0 +1,166 @@
+"""Routes: waypoint polylines sampled into fixed-length position sequences.
+
+A :class:`Route` is the "original trajectory" of the paper's generator —
+the daily journey a patterned sub-trajectory follows.  Sampling is
+arc-length parameterised (constant speed along the polyline), with optional
+dwell segments for stop-and-stay behaviour (home before leaving, paddock
+grazing, airport turnaround).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Route", "wiggly_route"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A polyline route with optional dwell fractions at each waypoint.
+
+    Attributes
+    ----------
+    waypoints:
+        ``(m, 2)`` array of the corner points, in visit order.
+    dwell:
+        Optional per-waypoint fractions of total time spent stationary at
+        that waypoint (must sum to < 1; the remainder is travel time).
+    name:
+        Label for diagnostics.
+    """
+
+    waypoints: np.ndarray
+    dwell: tuple[float, ...] | None = None
+    name: str = "route"
+
+    def __post_init__(self) -> None:
+        wp = np.asarray(self.waypoints, dtype=np.float64)
+        if wp.ndim != 2 or wp.shape[1] != 2 or wp.shape[0] < 2:
+            raise ValueError(
+                f"waypoints must have shape (m >= 2, 2), got {wp.shape}"
+            )
+        object.__setattr__(self, "waypoints", wp)
+        if self.dwell is not None:
+            if len(self.dwell) != wp.shape[0]:
+                raise ValueError(
+                    f"dwell needs one fraction per waypoint "
+                    f"({len(self.dwell)} != {wp.shape[0]})"
+                )
+            if any(d < 0 for d in self.dwell):
+                raise ValueError("dwell fractions must be non-negative")
+            if sum(self.dwell) >= 1.0:
+                raise ValueError("dwell fractions must sum to < 1")
+
+    @property
+    def length(self) -> float:
+        """Total polyline length."""
+        return float(
+            np.linalg.norm(np.diff(self.waypoints, axis=0), axis=1).sum()
+        )
+
+    def sample(self, num_positions: int, phase: float = 0.0) -> np.ndarray:
+        """``(num_positions, 2)`` positions along the route at constant pace.
+
+        Dwell waypoints hold the position for their share of the samples;
+        travel segments are covered at uniform arc-length speed.
+
+        ``phase`` shifts the day's schedule: positive means the journey
+        starts late (the object lingers at the first waypoint and the
+        period ends before the route completes); negative means it starts
+        early and dwells at the destination.  Time fractions are clipped
+        to [0, 1].  Per-day random phases are how the generator produces
+        *weakly aligned* datasets (the paper's Airplane).
+        """
+        if num_positions < 2:
+            raise ValueError(f"num_positions must be >= 2, got {num_positions}")
+        fractions = np.clip(np.linspace(0.0, 1.0, num_positions) - phase, 0.0, 1.0)
+        return self.sample_at(fractions)
+
+    def sample_at(self, fractions: np.ndarray) -> np.ndarray:
+        """Positions at arbitrary time fractions in [0, 1] along the schedule."""
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if fractions.ndim != 1 or fractions.size == 0:
+            raise ValueError("fractions must be a non-empty 1-D array")
+        if np.any(fractions < 0.0) or np.any(fractions > 1.0):
+            raise ValueError("time fractions must lie in [0, 1]")
+        wp = self.waypoints
+        seg_lengths = np.linalg.norm(np.diff(wp, axis=0), axis=1)
+        total = seg_lengths.sum()
+        if total == 0:
+            return np.tile(wp[0], (fractions.size, 1))
+
+        dwell = self.dwell or tuple(0.0 for _ in range(wp.shape[0]))
+        travel_fraction = 1.0 - sum(dwell)
+
+        # Build a mapping from time-fraction u in [0, 1] to arc position:
+        # alternating dwell (flat) and travel (linear in arc length) spans.
+        time_marks = [0.0]  # time fraction at each breakpoint
+        arc_marks = [0.0]  # cumulative arc length at each breakpoint
+        cumulative_arc = 0.0
+        for i in range(wp.shape[0]):
+            if dwell[i] > 0:
+                time_marks.append(time_marks[-1] + dwell[i])
+                arc_marks.append(cumulative_arc)
+            if i < wp.shape[0] - 1:
+                seg_time = travel_fraction * seg_lengths[i] / total
+                cumulative_arc += seg_lengths[i]
+                time_marks.append(time_marks[-1] + seg_time)
+                arc_marks.append(cumulative_arc)
+        time_marks[-1] = 1.0  # absorb float drift
+
+        arcs = np.interp(fractions, time_marks, arc_marks)
+        return self._positions_at_arcs(arcs, wp, seg_lengths)
+
+    @staticmethod
+    def _positions_at_arcs(
+        arcs: np.ndarray, wp: np.ndarray, seg_lengths: np.ndarray
+    ) -> np.ndarray:
+        boundaries = np.concatenate([[0.0], np.cumsum(seg_lengths)])
+        out = np.empty((arcs.shape[0], 2), dtype=np.float64)
+        for i, arc in enumerate(arcs):
+            seg = int(np.searchsorted(boundaries, arc, side="right")) - 1
+            seg = min(max(seg, 0), len(seg_lengths) - 1)
+            seg_len = seg_lengths[seg]
+            frac = 0.0 if seg_len == 0 else (arc - boundaries[seg]) / seg_len
+            out[i] = wp[seg] + frac * (wp[seg + 1] - wp[seg])
+        return out
+
+    def reversed(self) -> "Route":
+        """The same route travelled in the opposite direction."""
+        dwell = None if self.dwell is None else tuple(reversed(self.dwell))
+        return Route(self.waypoints[::-1].copy(), dwell, f"{self.name}-reversed")
+
+
+def wiggly_route(
+    start: tuple[float, float],
+    end: tuple[float, float],
+    num_waypoints: int,
+    wiggle: float,
+    rng: np.random.Generator,
+    name: str = "route",
+) -> Route:
+    """A route from ``start`` to ``end`` with lateral random deviations.
+
+    Intermediate waypoints sit on the straight line, displaced
+    perpendicular to it by ``N(0, wiggle)`` — the shape of a real road or
+    bike path between two towns.
+    """
+    if num_waypoints < 2:
+        raise ValueError(f"num_waypoints must be >= 2, got {num_waypoints}")
+    if wiggle < 0:
+        raise ValueError(f"wiggle must be non-negative, got {wiggle}")
+    a = np.asarray(start, dtype=np.float64)
+    b = np.asarray(end, dtype=np.float64)
+    direction = b - a
+    norm = np.linalg.norm(direction)
+    if norm == 0:
+        raise ValueError("start and end coincide")
+    perpendicular = np.array([-direction[1], direction[0]]) / norm
+    fractions = np.linspace(0.0, 1.0, num_waypoints)
+    waypoints = a + np.outer(fractions, direction)
+    lateral = rng.normal(0.0, wiggle, num_waypoints)
+    lateral[0] = lateral[-1] = 0.0  # endpoints stay put
+    waypoints += np.outer(lateral, perpendicular)
+    return Route(waypoints, name=name)

@@ -1,0 +1,83 @@
+"""Additional prediction baselines for the evaluation harness.
+
+Beyond the paper's comparator (RMF) and the linear motion model, two
+reference points sharpen the ablation story:
+
+* :class:`PeriodicMeanPredictor` — "pattern information only, no index,
+  no rules": predict the historical mean location at the query's time
+  offset.  It shares HPM's core insight (periodicity) but has no notion
+  of alternative routes, confidences or premise similarity — the gap
+  between it and HPM measures what the rule machinery adds.
+* :class:`LastPositionPredictor` — the degenerate "object doesn't move"
+  floor every predictor must beat.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..trajectory.point import Point, TimedPoint
+from ..trajectory.trajectory import Trajectory
+
+__all__ = ["PeriodicMeanPredictor", "LastPositionPredictor"]
+
+
+class PeriodicMeanPredictor:
+    """Predicts the mean historical location at ``tq mod T``.
+
+    Fit once on the training history; queries are O(1) lookups.
+    """
+
+    def __init__(self, period: int):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        self._means: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._means is not None
+
+    def fit(self, history: Trajectory) -> "PeriodicMeanPredictor":
+        """Average every offset group of the history."""
+        if len(history) < self.period:
+            raise ValueError(
+                f"history of {len(history)} samples is shorter than one "
+                f"period ({self.period})"
+            )
+        means = np.empty((self.period, 2), dtype=np.float64)
+        for group in history.offset_groups(self.period):
+            if len(group) == 0:
+                means[group.offset] = np.nan
+            else:
+                means[group.offset] = group.positions.mean(axis=0)
+        # Offsets never observed inherit their nearest observed neighbour.
+        observed = ~np.isnan(means[:, 0])
+        if not observed.any():
+            raise ValueError("history has no usable samples")
+        if not observed.all():
+            observed_idx = np.nonzero(observed)[0]
+            for t in np.nonzero(~observed)[0]:
+                nearest = observed_idx[np.argmin(np.abs(observed_idx - t))]
+                means[t] = means[nearest]
+        self._means = means
+        return self
+
+    def predict(self, recent: Sequence[TimedPoint], query_time: int) -> Point:
+        """Mean location at the query's time offset (recent is ignored)."""
+        if self._means is None:
+            raise RuntimeError("PeriodicMeanPredictor.predict called before fit")
+        x, y = self._means[query_time % self.period]
+        return Point(float(x), float(y))
+
+
+class LastPositionPredictor:
+    """Predicts the object's last known position, whatever the horizon."""
+
+    def predict(self, recent: Sequence[TimedPoint], query_time: int) -> Point:
+        samples = list(recent)
+        if not samples:
+            raise ValueError("recent movements must be non-empty")
+        return samples[-1].point

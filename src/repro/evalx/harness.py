@@ -1,0 +1,155 @@
+"""Evaluation harness: run workloads against predictors, measure error & latency.
+
+Mirrors the paper's protocol — per-query Euclidean distance error averaged
+over the workload (accuracy experiments, Figs. 5–9) and mean per-query wall
+time (cost experiments, Fig. 10).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.model import HybridPredictionModel
+from ..motion.base import MotionFunction, MotionFunctionFactory
+from ..motion.linear import LinearMotionFunction
+from ..motion.rmf import RecursiveMotionFunction
+from ..trajectory.metrics import ErrorSummary, summarize_errors
+from .workloads import PredictiveQuery, QueryWorkload
+
+__all__ = [
+    "EvaluationResult",
+    "evaluate_baseline",
+    "evaluate_hpm",
+    "evaluate_motion_function",
+    "evaluate_rmf",
+    "evaluate_linear",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy and latency of one predictor over one workload."""
+
+    predictor: str
+    errors: tuple[float, ...]
+    mean_error: float
+    summary: ErrorSummary
+    mean_query_ms: float
+    method_counts: dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.predictor}: mean_error={self.mean_error:.1f} "
+            f"mean_query={self.mean_query_ms:.2f}ms ({self.summary})"
+        )
+
+
+def evaluate_hpm(
+    model: HybridPredictionModel, workload: QueryWorkload | Sequence[PredictiveQuery]
+) -> EvaluationResult:
+    """Run every query through a fitted HPM and aggregate errors/latency.
+
+    Top-1 predictions are scored (the paper evaluates with k = 1).
+    """
+    queries = _queries_of(workload)
+    errors: list[float] = []
+    methods: dict[str, int] = {"fqp": 0, "bqp": 0, "motion": 0}
+    start = time.perf_counter()
+    for query in queries:
+        prediction = model.predict_one(list(query.recent), query.query_time)
+        errors.append(prediction.location.distance_to(query.truth))
+        methods[prediction.method] = methods.get(prediction.method, 0) + 1
+    elapsed = time.perf_counter() - start
+    return _result("hpm", errors, elapsed, len(queries), methods)
+
+
+def evaluate_baseline(
+    predictor,
+    workload: QueryWorkload | Sequence[PredictiveQuery],
+    name: str,
+) -> EvaluationResult:
+    """Evaluate any object exposing ``predict(recent, query_time) -> Point``.
+
+    Used for the non-motion baselines (periodic mean, last position).
+    """
+    queries = _queries_of(workload)
+    errors: list[float] = []
+    start = time.perf_counter()
+    for query in queries:
+        predicted = predictor.predict(list(query.recent), query.query_time)
+        errors.append(predicted.distance_to(query.truth))
+    elapsed = time.perf_counter() - start
+    return _result(name, errors, elapsed, len(queries), {})
+
+
+def evaluate_motion_function(
+    factory: MotionFunctionFactory,
+    workload: QueryWorkload | Sequence[PredictiveQuery],
+    name: str = "motion",
+) -> EvaluationResult:
+    """Evaluate a bare motion function: fit per query on the recent window.
+
+    This is the comparator protocol — RMF "construct[s] and train[s]
+    itself" on the recent movements of each query before predicting.
+    """
+    queries = _queries_of(workload)
+    errors: list[float] = []
+    start = time.perf_counter()
+    for query in queries:
+        func: MotionFunction = factory()
+        try:
+            func.fit(list(query.recent))
+            predicted = func.predict(query.query_time)
+        except ValueError:
+            # Window too short for this function; fall back to linear.
+            fallback = LinearMotionFunction()
+            fallback.fit(list(query.recent))
+            predicted = fallback.predict(query.query_time)
+        errors.append(predicted.distance_to(query.truth))
+    elapsed = time.perf_counter() - start
+    return _result(name, errors, elapsed, len(queries), {})
+
+
+def evaluate_rmf(
+    workload: QueryWorkload | Sequence[PredictiveQuery],
+    retrospect: int = 5,
+) -> EvaluationResult:
+    """Evaluate the paper's comparator (RMF) over a workload."""
+    return evaluate_motion_function(
+        lambda: RecursiveMotionFunction(retrospect=retrospect), workload, name="rmf"
+    )
+
+
+def evaluate_linear(
+    workload: QueryWorkload | Sequence[PredictiveQuery],
+) -> EvaluationResult:
+    """Evaluate the linear motion baseline over a workload."""
+    return evaluate_motion_function(LinearMotionFunction, workload, name="linear")
+
+
+def _queries_of(
+    workload: QueryWorkload | Sequence[PredictiveQuery],
+) -> Sequence[PredictiveQuery]:
+    if isinstance(workload, QueryWorkload):
+        return workload.queries
+    return list(workload)
+
+
+def _result(
+    name: str,
+    errors: list[float],
+    elapsed_s: float,
+    num_queries: int,
+    methods: dict[str, int],
+) -> EvaluationResult:
+    summary = summarize_errors(errors)
+    return EvaluationResult(
+        predictor=name,
+        errors=tuple(errors),
+        mean_error=summary.mean,
+        summary=summary,
+        mean_query_ms=1000.0 * elapsed_s / max(num_queries, 1),
+        method_counts=methods,
+    )

@@ -1,0 +1,109 @@
+"""Terminal plots for experiment series.
+
+The paper presents its evaluation as small line charts; these helpers
+render comparable ASCII charts so a full reproduction run can be read at
+a glance in CI logs.  Log-scaled rendering is available because several
+figures (Fig. 5, Fig. 11b) span orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Parameters
+    ----------
+    title:
+        Chart heading.
+    x_values:
+        Shared x coordinates (ascending).
+    series:
+        Mapping of series name to y values (same length as ``x_values``).
+    width / height:
+        Plot-area size in characters.
+    log_y:
+        Log-scale the y axis (zeros clamped to the smallest positive y).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [float(x) for x in x_values]
+    if len(xs) < 2:
+        raise ValueError("need at least two x values")
+    if xs != sorted(xs):
+        raise ValueError("x values must be ascending")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} values for {len(xs)} x values"
+            )
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 characters")
+
+    all_y = [float(y) for ys in series.values() for y in ys]
+    if log_y:
+        positive = [y for y in all_y if y > 0]
+        floor = min(positive) if positive else 1.0
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+        y_lo = transform(min(all_y, default=floor))
+        y_hi = transform(max(all_y, default=floor))
+    else:
+        transform = float
+        y_lo = min(all_y)
+        y_hi = max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = xs[0], xs[-1]
+
+    def col(x: float) -> int:
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        frac = (transform(y) - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        # Mark points and join consecutive points with linear interpolation.
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                r = min(max(row(y), 0), height - 1)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in zip(xs, ys):
+            grid[min(max(row(y), 0), height - 1)][col(x)] = marker
+
+    y_top = f"{(10 ** y_hi if log_y else y_hi):.6g}"
+    y_bottom = f"{(10 ** y_lo if log_y else y_lo):.6g}"
+    label_width = max(len(y_top), len(y_bottom))
+    lines = [title, ("(log y) " if log_y else "") + "=" * max(len(title), 8)]
+    for r, cells in enumerate(grid):
+        label = y_top if r == 0 else y_bottom if r == height - 1 else ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(cells)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = f"{xs[0]:.6g}".ljust(width - 8) + f"{xs[-1]:.6g}".rjust(8)
+    lines.append(" " * (label_width + 2) + x_axis[:width])
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment series (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """ASCII table with right-aligned numeric columns.
+
+    Floats are rendered with one decimal; everything else via ``str``.
+    """
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A titled table block, ready for printing."""
+    table = format_table(headers, rows)
+    bar = "=" * max(len(title), 8)
+    return f"\n{title}\n{bar}\n{table}\n"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,132 @@
+"""Predictive-query workloads for the evaluation harness.
+
+Protocol (Section VII-A): the model trains on the first
+``num_training_subtrajectories`` sub-trajectories; queries are sampled from
+held-out sub-trajectories.  Each query supplies the object's recent
+movements (the trailing window up to the current time ``tc``), a query time
+``tq = tc + prediction_length`` inside the same period (Definition 2
+assumes ``tq < T``), and the ground-truth location actually visited at
+``tq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trajectory.dataset import TrajectoryDataset
+from ..trajectory.point import Point, TimedPoint
+
+__all__ = ["PredictiveQuery", "QueryWorkload", "generate_queries"]
+
+
+@dataclass(frozen=True)
+class PredictiveQuery:
+    """One evaluation query with its ground truth.
+
+    ``recent`` ends at the current time; ``query_time`` is strictly later;
+    ``truth`` is where the object actually was at ``query_time``.
+    """
+
+    recent: tuple[TimedPoint, ...]
+    query_time: int
+    truth: Point
+
+    def __post_init__(self) -> None:
+        if not self.recent:
+            raise ValueError("query needs at least one recent sample")
+        if self.query_time <= self.recent[-1].t:
+            raise ValueError("query_time must be after the last recent sample")
+
+    @property
+    def current_time(self) -> int:
+        """``tc`` — the timestamp of the newest recent sample."""
+        return self.recent[-1].t
+
+    @property
+    def prediction_length(self) -> int:
+        """``tq - tc``."""
+        return self.query_time - self.current_time
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A batch of queries sharing one protocol configuration."""
+
+    dataset_name: str
+    prediction_length: int
+    queries: tuple[PredictiveQuery, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def generate_queries(
+    dataset: TrajectoryDataset,
+    prediction_length: int,
+    num_queries: int,
+    num_training_subtrajectories: int,
+    recent_window: int = 10,
+    rng: np.random.Generator | None = None,
+) -> QueryWorkload:
+    """Sample ``num_queries`` queries from the held-out sub-trajectories.
+
+    Each query picks a test sub-trajectory and a current offset ``tc`` such
+    that the recent window fits before it and ``tc + prediction_length``
+    stays within the same period.
+    """
+    if prediction_length < 1:
+        raise ValueError(f"prediction_length must be >= 1, got {prediction_length}")
+    if num_queries < 1:
+        raise ValueError(f"num_queries must be >= 1, got {num_queries}")
+    if recent_window < 2:
+        raise ValueError(f"recent_window must be >= 2, got {recent_window}")
+    rng = rng or np.random.default_rng()
+
+    period = dataset.period
+    max_tc = period - prediction_length - 1
+    min_tc = recent_window - 1
+    if max_tc < min_tc:
+        raise ValueError(
+            f"prediction length {prediction_length} plus recent window "
+            f"{recent_window} does not fit in one period of {period}"
+        )
+
+    subtrajectories = dataset.subtrajectories()
+    test_subs = [
+        s
+        for s in subtrajectories[num_training_subtrajectories:]
+        if s.is_complete
+    ]
+    if not test_subs:
+        raise ValueError(
+            "no complete held-out sub-trajectories after "
+            f"{num_training_subtrajectories} training ones"
+        )
+
+    queries: list[PredictiveQuery] = []
+    for _ in range(num_queries):
+        sub = test_subs[int(rng.integers(len(test_subs)))]
+        tc_offset = int(rng.integers(min_tc, max_tc + 1))
+        recent = tuple(
+            TimedPoint(
+                sub.global_time(offset),
+                sub.at_offset(offset).x,
+                sub.at_offset(offset).y,
+            )
+            for offset in range(tc_offset - recent_window + 1, tc_offset + 1)
+        )
+        truth_offset = tc_offset + prediction_length
+        queries.append(
+            PredictiveQuery(
+                recent=recent,
+                query_time=sub.global_time(truth_offset),
+                truth=sub.at_offset(truth_offset),
+            )
+        )
+    return QueryWorkload(
+        dataset_name=dataset.name,
+        prediction_length=prediction_length,
+        queries=tuple(queries),
+    )

@@ -1,0 +1,12 @@
+"""Mining substrate: Apriori frequent itemsets and association rules."""
+
+from .apriori import find_frequent_itemsets, itemset_support
+from .rules import AssociationRule, generate_rules, generate_rules_unpruned
+
+__all__ = [
+    "AssociationRule",
+    "find_frequent_itemsets",
+    "generate_rules",
+    "generate_rules_unpruned",
+    "itemset_support",
+]

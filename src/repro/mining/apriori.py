@@ -1,0 +1,159 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+
+The paper derives trajectory patterns by "modify[ing] the apriori algorithm
+to generate trajectory patterns from the frequent regions discovered"
+(Section IV).  This module implements the generic level-wise algorithm over
+transactions of hashable items; the trajectory-specific constraints (time
+monotonicity, single consequence) live in :mod:`repro.core.patterns` and
+:mod:`repro.mining.rules`.
+
+The implementation follows the textbook structure:
+
+1. Count 1-itemsets, keep those with support >= ``min_support``.
+2. Join: candidates of length ``k`` from frequent ``(k-1)``-itemsets sharing
+   a ``(k-2)``-prefix (in a canonical item order).
+3. Prune: drop candidates with an infrequent ``(k-1)``-subset (downward
+   closure).
+4. Count candidates against the transactions and iterate.
+
+An optional ``candidate_filter`` lets callers reject candidates that can
+never be useful (the paper's pruning of same-offset combinations), cutting
+work before the counting scan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+__all__ = ["find_frequent_itemsets", "itemset_support"]
+
+Item = Hashable
+Itemset = frozenset
+
+
+def find_frequent_itemsets(
+    transactions: Sequence[Iterable[Item]],
+    min_support: int,
+    max_length: int | None = None,
+    candidate_filter: Callable[[Itemset], bool] | None = None,
+) -> dict[Itemset, int]:
+    """Mine all itemsets appearing in at least ``min_support`` transactions.
+
+    Parameters
+    ----------
+    transactions:
+        A sequence of item collections; duplicates within a transaction are
+        ignored.
+    min_support:
+        Absolute support threshold (count of transactions), >= 1.
+    max_length:
+        Optional cap on itemset length.
+    candidate_filter:
+        Optional predicate; a candidate itemset is only counted when the
+        filter returns ``True``.  Must be *anti-monotone-safe*: rejecting an
+        itemset also rejects all its supersets from consideration, so only
+        use predicates where no useful superset survives a rejected subset.
+
+    Returns
+    -------
+    dict mapping each frequent itemset (as ``frozenset``) to its support.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    if max_length is not None and max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+
+    sets = [frozenset(t) for t in transactions]
+
+    # Level 1: plain counting.
+    counts: dict[Item, int] = defaultdict(int)
+    for t in sets:
+        for item in t:
+            counts[item] += 1
+    frequent: dict[Itemset, int] = {
+        frozenset((item,)): c for item, c in counts.items() if c >= min_support
+    }
+    if candidate_filter is not None:
+        frequent = {s: c for s, c in frequent.items() if candidate_filter(s)}
+
+    result: dict[Itemset, int] = dict(frequent)
+    k = 2
+    current_level = list(frequent)
+    while current_level and (max_length is None or k <= max_length):
+        candidates = _generate_candidates(current_level, k)
+        if candidate_filter is not None:
+            candidates = [c for c in candidates if candidate_filter(c)]
+        if not candidates:
+            break
+        level_counts = _count_candidates(candidates, sets)
+        next_level = [c for c in candidates if level_counts[c] >= min_support]
+        for c in next_level:
+            result[c] = level_counts[c]
+        current_level = next_level
+        k += 1
+    return result
+
+
+def _generate_candidates(previous_level: Sequence[Itemset], k: int) -> list[Itemset]:
+    """Join + prune step producing length-``k`` candidates.
+
+    Items are ordered by ``repr`` to get a canonical total order over
+    arbitrary hashable items; the join merges two itemsets sharing their
+    first ``k-2`` items.
+    """
+    prev_set = set(previous_level)
+    sorted_prev = [tuple(sorted(s, key=repr)) for s in previous_level]
+    sorted_prev.sort()
+    candidates: list[Itemset] = []
+    seen: set[Itemset] = set()
+    n = len(sorted_prev)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = sorted_prev[i], sorted_prev[j]
+            if a[: k - 2] != b[: k - 2]:
+                break  # sorted order: no later j can share the prefix either
+            candidate = frozenset(a) | frozenset((b[-1],))
+            if len(candidate) != k or candidate in seen:
+                continue
+            if _all_subsets_frequent(candidate, prev_set):
+                seen.add(candidate)
+                candidates.append(candidate)
+    return candidates
+
+
+def _all_subsets_frequent(candidate: Itemset, prev_set: set[Itemset]) -> bool:
+    """Downward-closure check: every (k-1)-subset must be frequent."""
+    for item in candidate:
+        if candidate - {item} not in prev_set:
+            return False
+    return True
+
+
+def _count_candidates(
+    candidates: Sequence[Itemset], transactions: Sequence[frozenset]
+) -> dict[Itemset, int]:
+    """Count each candidate's support with a subset scan."""
+    counts: dict[Itemset, int] = {c: 0 for c in candidates}
+    for t in transactions:
+        if len(t) < 2:
+            continue
+        for c in candidates:
+            if c <= t:
+                counts[c] += 1
+    return counts
+
+
+def itemset_support(
+    itemset: Iterable[Item], transactions: Sequence[Iterable[Item]]
+) -> int:
+    """Exact support of one itemset (used by tests as an oracle)."""
+    target = frozenset(itemset)
+    return sum(1 for t in transactions if target <= frozenset(t))
+
+
+def support_of(
+    itemsets: Mapping[Itemset, int], items: Iterable[Item]
+) -> int:
+    """Look up the mined support of ``items``; 0 when not frequent."""
+    return itemsets.get(frozenset(items), 0)

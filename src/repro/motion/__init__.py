@@ -1,0 +1,15 @@
+"""Motion-function substrate: linear extrapolation and RMF."""
+
+from .base import MotionFunction, MotionFunctionFactory, validate_recent_movements
+from .linear import LinearMotionFunction
+from .polynomial import PolynomialMotionFunction
+from .rmf import RecursiveMotionFunction
+
+__all__ = [
+    "LinearMotionFunction",
+    "MotionFunction",
+    "MotionFunctionFactory",
+    "PolynomialMotionFunction",
+    "RecursiveMotionFunction",
+    "validate_recent_movements",
+]

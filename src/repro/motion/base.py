@@ -1,0 +1,64 @@
+"""Motion-function interface.
+
+Section VI: "The motion function can be any type (e.g., a linear function)
+but Recursive Motion Function (RMF) is used for this study."  HPM treats the
+motion function as a pluggable fallback, so the interface is a tiny
+fit/predict protocol over recent timed samples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from ..trajectory.point import Point, TimedPoint
+
+__all__ = ["MotionFunction", "MotionFunctionFactory", "validate_recent_movements"]
+
+
+class MotionFunction(ABC):
+    """A model of one object's recent motion, fit once and queried at any time."""
+
+    @abstractmethod
+    def fit(self, recent: Sequence[TimedPoint]) -> "MotionFunction":
+        """Fit to the object's recent movements (chronologically ordered).
+
+        Returns ``self`` for chaining.
+        """
+
+    @abstractmethod
+    def predict(self, t: int) -> Point:
+        """Predicted location at (future) global timestamp ``t``."""
+
+    @property
+    @abstractmethod
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called successfully."""
+
+
+# Factory signature used by the HPM facade so each query can fit a fresh
+# function on the query's own recent-movement window.
+MotionFunctionFactory = Callable[[], MotionFunction]
+
+
+def validate_recent_movements(
+    recent: Sequence[TimedPoint], minimum: int
+) -> list[TimedPoint]:
+    """Check ordering/size of a recent-movement window and return it as a list.
+
+    Raises ``ValueError`` when there are fewer than ``minimum`` samples or
+    the timestamps are not strictly increasing and consecutive-friendly
+    (strictly increasing is enough; gaps are tolerated).
+    """
+    samples = list(recent)
+    if len(samples) < minimum:
+        raise ValueError(
+            f"need at least {minimum} recent samples, got {len(samples)}"
+        )
+    for a, b in zip(samples, samples[1:]):
+        if b.t <= a.t:
+            raise ValueError(
+                f"recent movements must be strictly increasing in time "
+                f"({a.t} followed by {b.t})"
+            )
+    return samples

@@ -1,0 +1,78 @@
+"""Linear motion model.
+
+Section II-A: "Given an object's location l0 at time t0 and its velocity v0,
+the linear models estimate the object's future location at time tq by using
+the formula l(tq) = l0 + v0 x (tq - t0)."
+
+Two velocity estimators are provided:
+
+* ``"last"`` — velocity from the last two samples (the classic TPR-tree
+  style instantaneous velocity);
+* ``"least_squares"`` — a straight line fit over the whole recent window,
+  which smooths GPS jitter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..trajectory.point import Point, TimedPoint
+from .base import MotionFunction, validate_recent_movements
+
+__all__ = ["LinearMotionFunction"]
+
+
+class LinearMotionFunction(MotionFunction):
+    """Constant-velocity extrapolation from recent movements."""
+
+    def __init__(self, velocity_estimator: str = "last"):
+        if velocity_estimator not in ("last", "least_squares"):
+            raise ValueError(
+                "velocity_estimator must be 'last' or 'least_squares', "
+                f"got {velocity_estimator!r}"
+            )
+        self._estimator = velocity_estimator
+        self._anchor_t: int | None = None
+        self._anchor: np.ndarray | None = None
+        self._velocity: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._velocity is not None
+
+    def fit(self, recent: Sequence[TimedPoint]) -> "LinearMotionFunction":
+        samples = validate_recent_movements(recent, minimum=2)
+        times = np.array([s.t for s in samples], dtype=np.float64)
+        positions = np.array([[s.x, s.y] for s in samples], dtype=np.float64)
+        if self._estimator == "last":
+            dt = times[-1] - times[-2]
+            velocity = (positions[-1] - positions[-2]) / dt
+            anchor = positions[-1]
+        else:
+            # Least-squares line fit per coordinate: l(t) = a + v t.
+            design = np.column_stack([np.ones_like(times), times])
+            coeffs, *_ = np.linalg.lstsq(design, positions, rcond=None)
+            velocity = coeffs[1]
+            anchor = coeffs[0] + coeffs[1] * times[-1]
+        self._anchor_t = int(samples[-1].t)
+        self._anchor = anchor
+        self._velocity = velocity
+        return self
+
+    def predict(self, t: int) -> Point:
+        if not self.is_fitted:
+            raise RuntimeError("LinearMotionFunction.predict called before fit")
+        assert self._anchor is not None and self._velocity is not None
+        dt = float(t - self._anchor_t)
+        loc = self._anchor + self._velocity * dt
+        return Point(float(loc[0]), float(loc[1]))
+
+    @property
+    def velocity(self) -> Point:
+        """Fitted velocity vector (units per timestamp)."""
+        if not self.is_fitted:
+            raise RuntimeError("velocity unavailable before fit")
+        assert self._velocity is not None
+        return Point(float(self._velocity[0]), float(self._velocity[1]))

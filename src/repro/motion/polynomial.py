@@ -1,0 +1,63 @@
+"""Polynomial motion model.
+
+Section II-A's second motion-function family: "non-linear models that
+consider not only linearity but also non-linear motions".  Before RMF,
+the standard non-linear choice was a low-degree polynomial fit per
+coordinate, ``l(t) = a_0 + a_1 t + ... + a_d t^d`` — it captures smooth
+acceleration/turning but, like all motion functions, extrapolates poorly
+at distant query times (polynomials diverge even faster than linear
+models, which is precisely the failure mode HPM's patterns fix).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..trajectory.point import Point, TimedPoint
+from .base import MotionFunction, validate_recent_movements
+
+__all__ = ["PolynomialMotionFunction"]
+
+
+class PolynomialMotionFunction(MotionFunction):
+    """Least-squares polynomial extrapolation per coordinate.
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree (2 = constant acceleration).
+    """
+
+    def __init__(self, degree: int = 2):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self._coeffs: np.ndarray | None = None  # (degree+1, 2), low order first
+        self._t0: int | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coeffs is not None
+
+    def fit(self, recent: Sequence[TimedPoint]) -> "PolynomialMotionFunction":
+        samples = validate_recent_movements(recent, minimum=self.degree + 1)
+        # Center times on the last sample for numerical conditioning.
+        t_last = samples[-1].t
+        times = np.array([s.t - t_last for s in samples], dtype=np.float64)
+        positions = np.array([[s.x, s.y] for s in samples], dtype=np.float64)
+        design = np.vander(times, self.degree + 1, increasing=True)
+        coeffs, *_ = np.linalg.lstsq(design, positions, rcond=None)
+        self._coeffs = coeffs
+        self._t0 = int(t_last)
+        return self
+
+    def predict(self, t: int) -> Point:
+        if not self.is_fitted:
+            raise RuntimeError("PolynomialMotionFunction.predict called before fit")
+        assert self._coeffs is not None and self._t0 is not None
+        dt = float(t - self._t0)
+        powers = np.array([dt**i for i in range(self.degree + 1)])
+        loc = powers @ self._coeffs
+        return Point(float(loc[0]), float(loc[1]))

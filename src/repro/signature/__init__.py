@@ -1,0 +1,6 @@
+"""Signature-index substrate: bitset operations and the generic signature tree."""
+
+from . import bitset
+from .signature_tree import LeafEntry, Node, SignatureTree, TreeStats
+
+__all__ = ["LeafEntry", "Node", "SignatureTree", "TreeStats", "bitset"]

@@ -1,0 +1,119 @@
+"""Bitmap-signature operations (Section V-A's "pattern key operations").
+
+Signatures are arbitrary-width Python integers; bit ``i`` set means item
+``i`` is present.  The paper defines, with ``&``, ``|`` and ``⊕`` the bitwise
+AND / OR / XOR:
+
+* ``Union(pk1..pkn)``  = ``pk1 | pk2 | ... | pkn``
+* ``Size(pk)``         = number of 1s in ``pk``
+* ``Contain(pk1, pk2)``= true iff ``pk1 & pk2 == pk2``
+* ``Difference(pk1, pk2)`` = ``Size(pk1 ⊕ (pk1 & pk2))`` — the number of 1s
+  of ``pk1`` not covered by ``pk2`` (note the asymmetry).
+* ``Intersect`` is pattern-key specific (split into consequence/premise
+  parts) and lives in :mod:`repro.core.keys`; the plain any-common-bit test
+  here serves the generic signature tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = [
+    "union",
+    "size",
+    "contain",
+    "difference",
+    "intersects",
+    "iter_set_bits",
+    "from_indices",
+    "to_indices",
+    "to_bit_string",
+    "position_of_bit",
+]
+
+
+def union(*signatures: int) -> int:
+    """Bitwise OR of all arguments (0 for no arguments)."""
+    result = 0
+    for sig in signatures:
+        result |= sig
+    return result
+
+
+def size(signature: int) -> int:
+    """Number of set bits — the paper's ``Size``."""
+    if signature < 0:
+        raise ValueError(f"signatures are non-negative, got {signature}")
+    return signature.bit_count()
+
+
+def contain(outer: int, inner: int) -> bool:
+    """The paper's ``Contain``: every bit of ``inner`` is set in ``outer``."""
+    return outer & inner == inner
+
+
+def difference(a: int, b: int) -> int:
+    """The paper's ``Difference(a, b) = Size(a XOR (a AND b))``.
+
+    Counts the bits of ``a`` that ``b`` does not cover; adding ``b``'s bits
+    to an entry with signature ``a`` grows it by ``difference(b, a)`` bits.
+    """
+    return size(a ^ (a & b))
+
+
+def intersects(a: int, b: int) -> bool:
+    """Whether the signatures share at least one set bit."""
+    return a & b != 0
+
+
+def iter_set_bits(signature: int) -> Iterator[int]:
+    """Yield the indices of set bits in increasing order."""
+    if signature < 0:
+        raise ValueError(f"signatures are non-negative, got {signature}")
+    index = 0
+    while signature:
+        if signature & 1:
+            yield index
+        signature >>= 1
+        index += 1
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Signature with exactly the given bit indices set."""
+    result = 0
+    for i in indices:
+        if i < 0:
+            raise ValueError(f"bit indices are non-negative, got {i}")
+        result |= 1 << i
+    return result
+
+
+def to_indices(signature: int) -> list[int]:
+    """List of set-bit indices in increasing order."""
+    return list(iter_set_bits(signature))
+
+
+def to_bit_string(signature: int, width: int) -> str:
+    """Fixed-width binary rendering, most-significant bit first.
+
+    Matches the paper's presentation (e.g. region key ``00001``).
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if signature >= 1 << width:
+        raise ValueError(f"signature {signature:#x} does not fit in {width} bits")
+    return format(signature, f"0{width}b")
+
+
+def position_of_bit(signature: int, bit_index: int) -> int:
+    """1-based rank of the set bit at ``bit_index`` counted from the right.
+
+    This is the paper's premise-key position numbering ("we number the
+    position of '1' in a premise key from right to left starting from 1"),
+    restricted to the *set* bits of ``signature``.  Raises ``ValueError``
+    when the bit is not set.
+    """
+    if not signature >> bit_index & 1:
+        raise ValueError(f"bit {bit_index} is not set in {signature:#x}")
+    below_mask = (1 << bit_index) - 1
+    return size(signature & below_mask) + 1

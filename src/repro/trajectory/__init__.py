@@ -1,0 +1,57 @@
+"""Trajectory substrate: geometric primitives, containers, IO and metrics."""
+
+from .dataset import TrajectoryDataset
+from .io import (
+    load_trajectories,
+    load_trajectory,
+    save_trajectories,
+    save_trajectory,
+)
+from .metrics import (
+    ErrorSummary,
+    euclidean_error,
+    mean_error,
+    median_error,
+    percentile_error,
+    root_mean_squared_error,
+    summarize_errors,
+)
+from .periodicity import PeriodScore, estimate_period, score_period
+from .point import BoundingBox, Point, TimedPoint
+from .preprocessing import (
+    StayPoint,
+    fill_gaps,
+    remove_speed_spikes,
+    resample_uniform,
+    stay_points,
+)
+from .trajectory import OffsetGroup, SubTrajectory, Trajectory
+
+__all__ = [
+    "BoundingBox",
+    "ErrorSummary",
+    "OffsetGroup",
+    "PeriodScore",
+    "Point",
+    "StayPoint",
+    "SubTrajectory",
+    "TimedPoint",
+    "Trajectory",
+    "TrajectoryDataset",
+    "estimate_period",
+    "euclidean_error",
+    "fill_gaps",
+    "load_trajectories",
+    "load_trajectory",
+    "mean_error",
+    "median_error",
+    "percentile_error",
+    "remove_speed_spikes",
+    "resample_uniform",
+    "root_mean_squared_error",
+    "save_trajectories",
+    "save_trajectory",
+    "score_period",
+    "stay_points",
+    "summarize_errors",
+]

@@ -1,0 +1,86 @@
+"""Dataset container binding a trajectory to its periodic structure.
+
+The paper's experiments operate on "datasets" of 200 sub-trajectories with
+T = 300 positions each (Section VII).  A :class:`TrajectoryDataset` is a
+trajectory plus its period and a human-readable name, with helpers for the
+train/test splits used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .trajectory import SubTrajectory, Trajectory
+
+__all__ = ["TrajectoryDataset"]
+
+
+@dataclass(frozen=True)
+class TrajectoryDataset:
+    """A named periodic trajectory dataset.
+
+    Attributes
+    ----------
+    name:
+        Scenario label (e.g. ``"bike"``).
+    trajectory:
+        The full movement history.
+    period:
+        The pattern period ``T`` (number of timestamps per sub-trajectory).
+    metadata:
+        Free-form generation parameters, recorded for reproducibility.
+    """
+
+    name: str
+    trajectory: Trajectory
+    period: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if len(self.trajectory) == 0:
+            raise ValueError("dataset trajectory is empty")
+
+    @property
+    def num_subtrajectories(self) -> int:
+        """Number of (possibly partial) sub-trajectories in the dataset."""
+        n = len(self.trajectory)
+        return (n + self.period - 1) // self.period
+
+    def subtrajectories(self) -> list[SubTrajectory]:
+        """Periodic decomposition of the whole trajectory."""
+        return self.trajectory.decompose(self.period)
+
+    def training_split(self, num_subtrajectories: int) -> Trajectory:
+        """First ``num_subtrajectories`` full periods, for pattern mining.
+
+        The paper trains on a configurable number of sub-trajectories
+        (60 by default, swept in Fig. 6).
+        """
+        if num_subtrajectories <= 0:
+            raise ValueError(
+                f"need at least one training sub-trajectory, got {num_subtrajectories}"
+            )
+        if num_subtrajectories > self.num_subtrajectories:
+            raise ValueError(
+                f"asked for {num_subtrajectories} training sub-trajectories, "
+                f"dataset has {self.num_subtrajectories}"
+            )
+        return self.trajectory.slice(0, num_subtrajectories * self.period)
+
+    def test_split(self, num_training_subtrajectories: int) -> Trajectory:
+        """Everything after the training split, used to sample queries."""
+        start = num_training_subtrajectories * self.period
+        if start >= len(self.trajectory):
+            raise ValueError(
+                "no samples left for testing after "
+                f"{num_training_subtrajectories} training sub-trajectories"
+            )
+        return self.trajectory.slice(start, len(self.trajectory))
+
+    def __repr__(self) -> str:
+        return (
+            f"TrajectoryDataset(name={self.name!r}, period={self.period}, "
+            f"subtrajectories={self.num_subtrajectories})"
+        )

@@ -1,0 +1,111 @@
+"""CSV import/export for trajectories.
+
+The on-disk format is a plain CSV with a header ``t,x,y`` and one row per
+sample.  Multi-trajectory files add an ``object_id`` column.  The format is
+deliberately trivial so real GPS exports (e.g. the paper's bike/cow/car
+traces) can be dropped in with a one-line conversion.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+__all__ = [
+    "save_trajectory",
+    "load_trajectory",
+    "save_trajectories",
+    "load_trajectories",
+]
+
+_HEADER = ["t", "x", "y"]
+_MULTI_HEADER = ["object_id", "t", "x", "y"]
+
+
+def save_trajectory(trajectory: Trajectory, path: str | Path) -> None:
+    """Write one trajectory to ``path`` as ``t,x,y`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        t = trajectory.start_time
+        for x, y in trajectory.positions:
+            writer.writerow([t, repr(float(x)), repr(float(y))])
+            t += 1
+
+
+def load_trajectory(path: str | Path) -> Trajectory:
+    """Read a single-trajectory ``t,x,y`` CSV written by :func:`save_trajectory`.
+
+    Timestamps must be consecutive integers; the file may list rows in any
+    order.
+    """
+    path = Path(path)
+    rows: list[tuple[int, float, float]] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"{path}: expected header {_HEADER}, got {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ValueError(f"{path}:{lineno}: expected 3 columns, got {len(row)}")
+            rows.append((int(row[0]), float(row[1]), float(row[2])))
+    if not rows:
+        raise ValueError(f"{path}: no samples")
+    rows.sort(key=lambda r: r[0])
+    times = [r[0] for r in rows]
+    start = times[0]
+    expected = list(range(start, start + len(rows)))
+    if times != expected:
+        raise ValueError(f"{path}: timestamps are not consecutive integers")
+    positions = np.array([[r[1], r[2]] for r in rows], dtype=np.float64)
+    return Trajectory(positions, start_time=start)
+
+
+def save_trajectories(trajectories: Mapping[str, Trajectory], path: str | Path) -> None:
+    """Write a mapping of object id -> trajectory as ``object_id,t,x,y`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_MULTI_HEADER)
+        for object_id in sorted(trajectories):
+            traj = trajectories[object_id]
+            t = traj.start_time
+            for x, y in traj.positions:
+                writer.writerow([object_id, t, repr(float(x)), repr(float(y))])
+                t += 1
+
+
+def load_trajectories(path: str | Path) -> dict[str, Trajectory]:
+    """Read a multi-object CSV written by :func:`save_trajectories`."""
+    path = Path(path)
+    per_object: dict[str, list[tuple[int, float, float]]] = {}
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _MULTI_HEADER:
+            raise ValueError(f"{path}: expected header {_MULTI_HEADER}, got {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != 4:
+                raise ValueError(f"{path}:{lineno}: expected 4 columns, got {len(row)}")
+            per_object.setdefault(row[0], []).append(
+                (int(row[1]), float(row[2]), float(row[3]))
+            )
+    result: dict[str, Trajectory] = {}
+    for object_id, rows in per_object.items():
+        rows.sort(key=lambda r: r[0])
+        times = [r[0] for r in rows]
+        start = times[0]
+        if times != list(range(start, start + len(rows))):
+            raise ValueError(
+                f"{path}: object {object_id!r} timestamps are not consecutive"
+            )
+        positions = np.array([[r[1], r[2]] for r in rows], dtype=np.float64)
+        result[object_id] = Trajectory(positions, start_time=start)
+    return result

@@ -1,0 +1,96 @@
+"""Error metrics for location prediction.
+
+Section VII-A: "A prediction error is measured as the distance between a
+predicted location and its actual location.  We test 50 queries ... and
+average their errors."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .point import Point
+
+__all__ = [
+    "euclidean_error",
+    "mean_error",
+    "root_mean_squared_error",
+    "median_error",
+    "percentile_error",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def euclidean_error(predicted: Point, actual: Point) -> float:
+    """Distance between a predicted and an actual location."""
+    return predicted.distance_to(actual)
+
+
+def _as_array(errors: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(errors, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"errors must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("no errors to aggregate")
+    if np.any(arr < 0):
+        raise ValueError("errors must be non-negative")
+    return arr
+
+
+def mean_error(errors: Sequence[float]) -> float:
+    """Average error — the paper's headline accuracy metric."""
+    return float(_as_array(errors).mean())
+
+
+def root_mean_squared_error(errors: Sequence[float]) -> float:
+    """RMSE over per-query distance errors."""
+    arr = _as_array(errors)
+    return float(math.sqrt(float((arr * arr).mean())))
+
+
+def median_error(errors: Sequence[float]) -> float:
+    """Median error (robust to a few divergent motion-function predictions)."""
+    return float(np.median(_as_array(errors)))
+
+
+def percentile_error(errors: Sequence[float], q: float) -> float:
+    """``q``-th percentile error, ``0 <= q <= 100``."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(_as_array(errors), q))
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Aggregate statistics over a batch of per-query distance errors."""
+
+    count: int
+    mean: float
+    median: float
+    rmse: float
+    p90: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} median={self.median:.1f} "
+            f"rmse={self.rmse:.1f} p90={self.p90:.1f} max={self.maximum:.1f}"
+        )
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Build an :class:`ErrorSummary` from raw per-query errors."""
+    arr = _as_array(errors)
+    return ErrorSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        rmse=float(math.sqrt(float((arr * arr).mean()))),
+        p90=float(np.percentile(arr, 90)),
+        maximum=float(arr.max()),
+    )

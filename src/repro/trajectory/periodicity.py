@@ -1,0 +1,117 @@
+"""Estimating the pattern period ``T`` from raw movement history.
+
+Section III: "``T`` is data-dependent and has no definite value.  For
+example, ``T`` can be set to 'a day' in traffic control applications ...
+while the behaviors of animals' annual migration can be discovered by
+``T = 'a year'``."  When the sampling cadence of a trace is unknown, the
+period must be estimated before anything can be mined.
+
+The estimator scores each candidate period by *offset-group coherence*:
+for the true ``T``, the locations at a fixed offset across
+sub-trajectories collapse into tight clusters (that is exactly why
+DBSCAN finds frequent regions), while any wrong period smears them
+across the route.  The score is the mean per-offset spread, normalised
+by the overall spread so datasets of different extents are comparable;
+lower is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+__all__ = ["PeriodScore", "score_period", "estimate_period"]
+
+
+@dataclass(frozen=True)
+class PeriodScore:
+    """Coherence score of one candidate period (lower = more periodic)."""
+
+    period: int
+    coherence: float
+    num_subtrajectories: int
+
+    def __lt__(self, other: "PeriodScore") -> bool:
+        return self.coherence < other.coherence
+
+
+def score_period(
+    trajectory: Trajectory, period: int, max_offsets: int = 64
+) -> PeriodScore:
+    """Offset-group coherence of one candidate period.
+
+    ``coherence`` is the mean per-offset standard deviation divided by the
+    whole trajectory's standard deviation; 0 means perfectly repeating
+    movement, ~1 means the candidate explains nothing.  At most
+    ``max_offsets`` evenly spaced offsets are sampled for speed.
+    """
+    if period < 2:
+        raise ValueError(f"period must be >= 2, got {period}")
+    n = len(trajectory)
+    if n < 2 * period:
+        raise ValueError(
+            f"need at least two periods of history ({2 * period}), got {n}"
+        )
+    positions = trajectory.positions
+    global_spread = float(positions.std(axis=0).mean())
+    if global_spread == 0:
+        return PeriodScore(period=period, coherence=0.0, num_subtrajectories=n // period)
+
+    num_full = n // period
+    trimmed = positions[: num_full * period].reshape(num_full, period, 2)
+    step = max(1, period // max_offsets)
+    sampled = trimmed[:, ::step, :]  # (subs, offsets, 2)
+    per_offset_spread = sampled.std(axis=0).mean()
+    return PeriodScore(
+        period=period,
+        coherence=float(per_offset_spread / global_spread),
+        num_subtrajectories=num_full,
+    )
+
+
+def estimate_period(
+    trajectory: Trajectory,
+    candidates: list[int] | None = None,
+    min_period: int = 2,
+    max_period: int | None = None,
+) -> list[PeriodScore]:
+    """Rank candidate periods by coherence, best first.
+
+    Parameters
+    ----------
+    trajectory:
+        The movement history (at least two repetitions of the true period
+        must be present for it to win).
+    candidates:
+        Explicit periods to score; when omitted, every period in
+        ``[min_period, max_period]`` with at least two full repetitions
+        is scored (``max_period`` defaults to ``len(trajectory) // 2``).
+
+    Note that multiples of the true period also score well (a two-day
+    window repeats daily patterns); prefer the *smallest* candidate among
+    near-tied leaders.
+    """
+    n = len(trajectory)
+    if candidates is None:
+        if max_period is None:
+            max_period = n // 2
+        if min_period < 2:
+            raise ValueError(f"min_period must be >= 2, got {min_period}")
+        if max_period < min_period:
+            raise ValueError(
+                f"max_period {max_period} below min_period {min_period}"
+            )
+        candidates = list(range(min_period, max_period + 1))
+    if not candidates:
+        raise ValueError("no candidate periods")
+    scores = [
+        score_period(trajectory, p) for p in candidates if n >= 2 * p
+    ]
+    if not scores:
+        raise ValueError(
+            "history too short for every candidate (need two repetitions)"
+        )
+    return sorted(scores)

@@ -1,0 +1,177 @@
+"""Geometric primitives for moving-object trajectories.
+
+The paper models an object's trajectory as a sequence of 2-D locations
+sampled at consecutive integer timestamps (Section III).  ``Point`` is the
+location primitive and ``BoundingBox`` the axis-aligned rectangle used to
+summarise frequent regions and tree entries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["Point", "TimedPoint", "BoundingBox"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable 2-D location."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``.
+
+        This is the error metric used throughout the paper's evaluation
+        ("a prediction error is measured as the distance between a
+        predicted location and its actual location", Section VII-A).
+        """
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint of the segment between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, slots=True)
+class TimedPoint:
+    """A location stamped with an integer timestamp.
+
+    Timestamps are global (monotonically increasing over the whole
+    trajectory); the periodic *time offset* of the paper is obtained with
+    ``offset = t mod T`` for a period ``T``.
+    """
+
+    t: int
+    x: float
+    y: float
+
+    @property
+    def point(self) -> Point:
+        """The spatial component as a :class:`Point`."""
+        return Point(self.x, self.y)
+
+    def offset(self, period: int) -> int:
+        """Time offset of this sample within a period of length ``period``."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        return self.t % period
+
+    def as_tuple(self) -> tuple[int, float, float]:
+        """Return ``(t, x, y)``."""
+        return (self.t, self.x, self.y)
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "degenerate bounding box: "
+                f"({self.min_x}, {self.min_y}, {self.max_x}, {self.max_y})"
+            )
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point | tuple[float, float]]) -> "BoundingBox":
+        """Smallest box containing every point in ``points``.
+
+        Raises ``ValueError`` for an empty iterable.
+        """
+        xs: list[float] = []
+        ys: list[float] = []
+        for p in points:
+            px, py = (p.x, p.y) if isinstance(p, Point) else (p[0], p[1])
+            xs.append(px)
+            ys.append(py)
+        if not xs:
+            raise ValueError("cannot build a bounding box from no points")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def center(self) -> Point:
+        """Centroid of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, point: Point | tuple[float, float]) -> bool:
+        """Whether ``point`` lies inside the (closed) box."""
+        px, py = (point.x, point.y) if isinstance(point, Point) else (point[0], point[1])
+        return self.min_x <= px <= self.max_x and self.min_y <= py <= self.max_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two (closed) boxes overlap."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        return BoundingBox(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the box (nearest point inside it)."""
+        return Point(
+            min(max(point.x, self.min_x), self.max_x),
+            min(max(point.y, self.min_y), self.max_y),
+        )
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Arithmetic mean of a non-empty sequence of points."""
+    if not points:
+        raise ValueError("cannot take the centroid of no points")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    return Point(sx / len(points), sy / len(points))

@@ -1,0 +1,279 @@
+"""Trajectory container and the paper's periodic decomposition.
+
+Section III: "An object's trajectory is typically represented as a sequence
+``(l_0, l_1, ..., l_{n-1})`` where ``l_i`` denotes the object is at location
+``l`` at time ``i``.  Given ``T`` ... an object's trajectory is decomposed
+into ``ceil(n / T)`` sub-trajectories ... All locations from sub-trajectories
+which have the same time offset ``t`` of ``T`` will be gathered onto one
+group ``G_t``."
+
+Positions are stored densely as a ``(n, 2)`` ``float64`` array; the sample
+at row ``i`` implicitly carries timestamp ``start_time + i``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .point import BoundingBox, Point, TimedPoint
+
+__all__ = ["Trajectory", "SubTrajectory", "OffsetGroup"]
+
+
+class Trajectory:
+    """A uniformly sampled 2-D trajectory.
+
+    Parameters
+    ----------
+    positions:
+        Array-like of shape ``(n, 2)``; row ``i`` is the location at
+        timestamp ``start_time + i``.
+    start_time:
+        Global timestamp of the first sample (default 0).
+    """
+
+    __slots__ = ("_positions", "_start_time")
+
+    def __init__(self, positions: np.ndarray | Sequence[Sequence[float]], start_time: int = 0):
+        arr = np.asarray(positions, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {arr.shape}")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("positions must be finite")
+        self._positions = arr
+        self._start_time = int(start_time)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """The raw ``(n, 2)`` position array (read-only view)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def start_time(self) -> int:
+        """Global timestamp of the first sample."""
+        return self._start_time
+
+    @property
+    def end_time(self) -> int:
+        """Global timestamp of the last sample."""
+        return self._start_time + len(self) - 1
+
+    def __len__(self) -> int:
+        return self._positions.shape[0]
+
+    def __getitem__(self, index: int) -> Point:
+        x, y = self._positions[index]
+        return Point(float(x), float(y))
+
+    def __iter__(self) -> Iterator[Point]:
+        for x, y in self._positions:
+            yield Point(float(x), float(y))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return (
+            self._start_time == other._start_time
+            and self._positions.shape == other._positions.shape
+            and bool(np.array_equal(self._positions, other._positions))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory(n={len(self)}, start_time={self._start_time}, "
+            f"bbox={self.bounding_box() if len(self) else None})"
+        )
+
+    # ------------------------------------------------------------------
+    # time-indexed access
+    # ------------------------------------------------------------------
+    def at(self, t: int) -> Point:
+        """Location at global timestamp ``t``."""
+        idx = t - self._start_time
+        if not 0 <= idx < len(self):
+            raise IndexError(
+                f"timestamp {t} outside [{self._start_time}, {self.end_time}]"
+            )
+        return self[idx]
+
+    def timed_point(self, t: int) -> TimedPoint:
+        """Location at global timestamp ``t`` as a :class:`TimedPoint`."""
+        p = self.at(t)
+        return TimedPoint(t, p.x, p.y)
+
+    def window(self, t_from: int, t_to: int) -> list[TimedPoint]:
+        """Timed samples for ``t_from <= t <= t_to`` (inclusive)."""
+        if t_to < t_from:
+            raise ValueError(f"empty window [{t_from}, {t_to}]")
+        return [self.timed_point(t) for t in range(t_from, t_to + 1)]
+
+    def slice(self, start: int, stop: int) -> "Trajectory":
+        """Sub-range ``[start, stop)`` by array index, keeping global time."""
+        if not (0 <= start <= stop <= len(self)):
+            raise ValueError(f"invalid slice [{start}, {stop}) for length {len(self)}")
+        return Trajectory(self._positions[start:stop].copy(), self._start_time + start)
+
+    def bounding_box(self) -> BoundingBox:
+        """Smallest axis-aligned box containing every sample."""
+        if len(self) == 0:
+            raise ValueError("empty trajectory has no bounding box")
+        mins = self._positions.min(axis=0)
+        maxs = self._positions.max(axis=0)
+        return BoundingBox(float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1]))
+
+    # ------------------------------------------------------------------
+    # periodic decomposition (Section III / Fig. 2)
+    # ------------------------------------------------------------------
+    def decompose(self, period: int) -> list["SubTrajectory"]:
+        """Split into ``ceil(n / period)`` sub-trajectories of ``period`` samples.
+
+        The final sub-trajectory may be shorter when ``n`` is not a multiple
+        of ``period``.
+        """
+        self._check_period(period)
+        subs: list[SubTrajectory] = []
+        for k, start in enumerate(range(0, len(self), period)):
+            stop = min(start + period, len(self))
+            subs.append(SubTrajectory(self, index=k, start=start, stop=stop, period=period))
+        return subs
+
+    def offset_group(self, offset: int, period: int) -> "OffsetGroup":
+        """The group ``G_t``: every sample whose time offset equals ``offset``.
+
+        Returns positions from all sub-trajectories at that offset, together
+        with the sub-trajectory index each sample came from.
+        """
+        self._check_period(period)
+        if not 0 <= offset < period:
+            raise ValueError(f"offset {offset} outside [0, {period})")
+        # Global timestamps congruent to `offset` mod `period`.  The
+        # sub-trajectory id is index-based to stay consistent with
+        # decompose(); both views agree when start_time is period-aligned
+        # (the mining pipeline's assumption).
+        times = np.arange(self._start_time, self._start_time + len(self))
+        mask = (times % period) == offset
+        idx = np.nonzero(mask)[0]
+        sub_ids = idx // period
+        return OffsetGroup(
+            offset=offset,
+            period=period,
+            positions=self._positions[idx].copy(),
+            subtrajectory_ids=sub_ids.astype(np.int64),
+        )
+
+    def offset_groups(self, period: int) -> list["OffsetGroup"]:
+        """All groups ``G_0 .. G_{T-1}`` for period ``T``."""
+        self._check_period(period)
+        return [self.offset_group(t, period) for t in range(period)]
+
+    def _check_period(self, period: int) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def concatenate(cls, parts: Sequence["Trajectory"]) -> "Trajectory":
+        """Join trajectories end-to-end; timestamps restart from the first part."""
+        if not parts:
+            raise ValueError("cannot concatenate no trajectories")
+        arrays = [p._positions for p in parts]
+        return cls(np.vstack(arrays), start_time=parts[0].start_time)
+
+    @classmethod
+    def from_subtrajectories(
+        cls, rows: Sequence[np.ndarray | Sequence[Sequence[float]]], start_time: int = 0
+    ) -> "Trajectory":
+        """Build one long trajectory from per-period position blocks."""
+        if not rows:
+            raise ValueError("cannot build a trajectory from no sub-trajectories")
+        arrays = [np.asarray(r, dtype=np.float64) for r in rows]
+        return cls(np.vstack(arrays), start_time=start_time)
+
+
+class SubTrajectory:
+    """One period-length window of a parent trajectory (Fig. 2a).
+
+    Sub-trajectory ``k`` covers array rows ``[k*T, (k+1)*T)`` of the parent.
+    Indexing is by *time offset* within the period.
+    """
+
+    __slots__ = ("_parent", "index", "_start", "_stop", "period")
+
+    def __init__(self, parent: Trajectory, index: int, start: int, stop: int, period: int):
+        self._parent = parent
+        self.index = index
+        self._start = start
+        self._stop = stop
+        self.period = period
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether this sub-trajectory spans a full period."""
+        return len(self) == self.period
+
+    def at_offset(self, offset: int) -> Point:
+        """Location at time offset ``offset`` within this sub-trajectory."""
+        if not 0 <= offset < len(self):
+            raise IndexError(f"offset {offset} outside [0, {len(self)})")
+        return self._parent[self._start + offset]
+
+    def positions(self) -> np.ndarray:
+        """Positions of this sub-trajectory as an ``(m, 2)`` array copy."""
+        return self._parent.positions[self._start : self._stop].copy()
+
+    def global_time(self, offset: int) -> int:
+        """Global timestamp of the sample at ``offset``."""
+        if not 0 <= offset < len(self):
+            raise IndexError(f"offset {offset} outside [0, {len(self)})")
+        return self._parent.start_time + self._start + offset
+
+    def __iter__(self) -> Iterator[Point]:
+        for i in range(len(self)):
+            yield self.at_offset(i)
+
+    def __repr__(self) -> str:
+        return f"SubTrajectory(index={self.index}, len={len(self)}, period={self.period})"
+
+
+class OffsetGroup:
+    """The group ``G_t`` of all samples at one time offset (Fig. 2b).
+
+    ``positions[i]`` came from sub-trajectory ``subtrajectory_ids[i]``.
+    Clustering this group yields the frequent regions ``R_t^j``.
+    """
+
+    __slots__ = ("offset", "period", "positions", "subtrajectory_ids")
+
+    def __init__(
+        self,
+        offset: int,
+        period: int,
+        positions: np.ndarray,
+        subtrajectory_ids: np.ndarray,
+    ):
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (m, 2), got {positions.shape}")
+        if len(positions) != len(subtrajectory_ids):
+            raise ValueError("positions and subtrajectory_ids must align")
+        self.offset = offset
+        self.period = period
+        self.positions = positions
+        self.subtrajectory_ids = subtrajectory_ids
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    def __repr__(self) -> str:
+        return f"OffsetGroup(offset={self.offset}, n={len(self)})"

@@ -1,0 +1,129 @@
+"""Tests for the from-scratch DBSCAN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import NOISE, dbscan
+
+
+def blob(rng, center, n, sigma=0.3):
+    return rng.normal(center, sigma, (n, 2))
+
+
+class TestBasics:
+    def test_empty_input(self):
+        res = dbscan(np.empty((0, 2)), eps=1.0, min_pts=3)
+        assert res.num_clusters == 0
+        assert res.labels.size == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 3)), eps=1.0, min_pts=2)
+
+    def test_rejects_bad_min_pts(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((3, 2)), eps=1.0, min_pts=0)
+
+    def test_single_point_is_noise_with_min_pts_2(self):
+        res = dbscan(np.array([[0.0, 0.0]]), eps=1.0, min_pts=2)
+        assert res.num_clusters == 0
+        assert res.labels[0] == NOISE
+
+    def test_single_point_cluster_with_min_pts_1(self):
+        res = dbscan(np.array([[0.0, 0.0]]), eps=1.0, min_pts=1)
+        assert res.num_clusters == 1
+        assert res.labels[0] == 0
+
+    def test_two_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        pts = np.vstack([blob(rng, [0, 0], 20), blob(rng, [100, 100], 20)])
+        res = dbscan(pts, eps=2.0, min_pts=4)
+        assert res.num_clusters == 2
+        assert set(res.labels[:20].tolist()) == {res.labels[0]}
+        assert set(res.labels[20:].tolist()) == {res.labels[20]}
+        assert res.labels[0] != res.labels[20]
+
+    def test_outlier_is_noise(self):
+        rng = np.random.default_rng(1)
+        pts = np.vstack([blob(rng, [0, 0], 20), [[500.0, 500.0]]])
+        res = dbscan(pts, eps=2.0, min_pts=4)
+        assert res.labels[-1] == NOISE
+
+    def test_chain_is_density_connected(self):
+        # A line of points each within eps of the next forms one cluster.
+        pts = np.column_stack([np.arange(30) * 0.9, np.zeros(30)])
+        res = dbscan(pts, eps=1.0, min_pts=3)
+        assert res.num_clusters == 1
+        assert np.all(res.labels == 0)
+
+    def test_members_and_noise_accessors(self):
+        rng = np.random.default_rng(2)
+        pts = np.vstack([blob(rng, [0, 0], 10), [[99.0, 99.0]]])
+        res = dbscan(pts, eps=2.0, min_pts=3)
+        assert set(res.members(0).tolist()) == set(range(10))
+        assert res.noise().tolist() == [10]
+        with pytest.raises(ValueError):
+            res.members(5)
+
+    def test_core_points_have_dense_neighborhoods(self):
+        rng = np.random.default_rng(3)
+        pts = np.vstack([blob(rng, [0, 0], 20), [[50.0, 50.0]]])
+        res = dbscan(pts, eps=2.0, min_pts=4)
+        for i, is_core in enumerate(res.core_mask):
+            count = int(
+                (np.linalg.norm(pts - pts[i], axis=1) <= 2.0).sum()
+            )
+            assert is_core == (count >= 4)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 20, (100, 2))
+        a = dbscan(pts, eps=2.0, min_pts=3)
+        b = dbscan(pts, eps=2.0, min_pts=3)
+        assert np.array_equal(a.labels, b.labels)
+
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=80),
+        st.floats(min_value=0.5, max_value=10.0),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_invariants(self, pts, eps, min_pts):
+        arr = np.array(pts, dtype=np.float64)
+        res = dbscan(arr, eps=eps, min_pts=min_pts)
+        labels = res.labels
+        # Labels are contiguous 0..k-1 or NOISE.
+        clusters = set(labels.tolist()) - {NOISE}
+        assert clusters == set(range(res.num_clusters))
+        # Every core point is in a cluster, never noise.
+        assert not np.any(res.core_mask & (labels == NOISE))
+        # Each cluster contains at least one core point and >= min_pts
+        # points (core's own neighbourhood joins the cluster).
+        for c in clusters:
+            members = np.nonzero(labels == c)[0]
+            assert res.core_mask[members].any()
+            assert len(members) >= min(min_pts, len(arr))
+        # Noise points are not within eps of any core point.
+        for i in np.nonzero(labels == NOISE)[0]:
+            dists = np.linalg.norm(arr - arr[i], axis=1)
+            near_core = (dists <= eps) & res.core_mask
+            assert not near_core.any()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=4, max_size=60),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    def test_min_pts_monotone(self, pts, eps):
+        """Raising min_pts never increases the number of core points."""
+        arr = np.array(pts, dtype=np.float64)
+        low = dbscan(arr, eps=eps, min_pts=2)
+        high = dbscan(arr, eps=eps, min_pts=5)
+        assert high.core_mask.sum() <= low.core_mask.sum()

@@ -1,0 +1,77 @@
+"""Tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import GridIndex
+
+
+class TestGridIndex:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((3, 3)), eps=1.0)
+
+    def test_rejects_bad_eps(self):
+        pts = np.zeros((3, 2))
+        for eps in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                GridIndex(pts, eps=eps)
+
+    def test_neighbors_includes_self(self):
+        pts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        idx = GridIndex(pts, eps=1.0)
+        assert 0 in idx.neighbors(0)
+
+    def test_neighbors_radius_inclusive(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0001, 0.0]])
+        idx = GridIndex(pts, eps=1.0)
+        nb = set(idx.neighbors(0).tolist())
+        assert nb == {0, 1}
+
+    def test_neighbors_index_bounds(self):
+        idx = GridIndex(np.zeros((2, 2)), eps=1.0)
+        with pytest.raises(IndexError):
+            idx.neighbors(2)
+
+    def test_neighbors_of_arbitrary_point(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        idx = GridIndex(pts, eps=2.0)
+        assert set(idx.neighbors_of_point(0.5, 0.5).tolist()) == {0}
+        assert idx.count_within(100.0, 100.0) == 0
+
+    def test_negative_coordinates(self):
+        pts = np.array([[-1.0, -1.0], [-1.5, -1.2], [3.0, 3.0]])
+        idx = GridIndex(pts, eps=1.0)
+        assert set(idx.neighbors(0).tolist()) == {0, 1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.5, max_value=30.0),
+    )
+    def test_matches_brute_force(self, pts, eps):
+        arr = np.array(pts, dtype=np.float64)
+        idx = GridIndex(arr, eps=eps)
+        for i in range(len(arr)):
+            got = set(idx.neighbors(i).tolist())
+            for j in range(len(arr)):
+                dist = float(np.linalg.norm(arr[i] - arr[j]))
+                # Skip knife-edge pairs where the true distance and eps
+                # differ by less than a float ulp — the grid prunes by
+                # exact cell arithmetic while the norm rounds, so ties at
+                # the boundary are implementation-defined.
+                if abs(dist - eps) <= 1e-9 * max(1.0, eps):
+                    continue
+                if dist < eps:
+                    assert j in got
+                else:
+                    assert j not in got

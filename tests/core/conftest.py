@@ -1,0 +1,68 @@
+"""Shared fixtures: the paper's Fig. 3 scenario (Jane's movements).
+
+Frequent regions: Home R_0^0, City R_1^0, Shopping center R_1^1,
+Work place R_2^0, Beach R_2^1.  Trajectory patterns (Fig. 3 right):
+
+    P0: R_0^0 --0.9--> R_1^0
+    P1: R_0^0 --0.8--> R_1^1
+    P2: R_0^0 ∧ R_1^0 --0.5--> R_2^0
+    P3: R_0^0 ∧ R_1^1 --0.4--> R_2^1
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import KeyCodec
+from repro.core.patterns import TrajectoryPattern
+from repro.core.regions import FrequentRegion, RegionSet
+from repro.trajectory.point import BoundingBox, Point
+
+
+def make_region(offset: int, index: int, cx: float, cy: float, n: int = 4) -> FrequentRegion:
+    """A small synthetic frequent region centred at (cx, cy)."""
+    offsets = np.linspace(-1.0, 1.0, n)
+    points = np.column_stack([cx + offsets, cy + offsets])
+    return FrequentRegion(
+        offset=offset,
+        index=index,
+        center=Point(cx, cy),
+        points=points,
+        bbox=BoundingBox(cx - 1.0, cy - 1.0, cx + 1.0, cy + 1.0),
+        subtrajectory_ids=tuple(range(n)),
+    )
+
+
+@pytest.fixture
+def jane_regions() -> dict[str, FrequentRegion]:
+    return {
+        "home": make_region(0, 0, 0.0, 0.0),
+        "city": make_region(1, 0, 100.0, 0.0),
+        "shopping": make_region(1, 1, 0.0, 100.0),
+        "work": make_region(2, 0, 200.0, 0.0),
+        "beach": make_region(2, 1, 0.0, 200.0),
+    }
+
+
+@pytest.fixture
+def jane_region_set(jane_regions) -> RegionSet:
+    return RegionSet(list(jane_regions.values()), period=3, eps=5.0)
+
+
+@pytest.fixture
+def jane_patterns(jane_regions) -> list[TrajectoryPattern]:
+    home = jane_regions["home"]
+    city = jane_regions["city"]
+    shopping = jane_regions["shopping"]
+    work = jane_regions["work"]
+    beach = jane_regions["beach"]
+    return [
+        TrajectoryPattern((home,), city, support=9, confidence=0.9),
+        TrajectoryPattern((home,), shopping, support=8, confidence=0.8),
+        TrajectoryPattern((home, city), work, support=5, confidence=0.5),
+        TrajectoryPattern((home, shopping), beach, support=4, confidence=0.4),
+    ]
+
+
+@pytest.fixture
+def jane_codec(jane_region_set, jane_patterns) -> KeyCodec:
+    return KeyCodec.from_patterns(jane_region_set, jane_patterns)

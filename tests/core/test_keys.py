@@ -1,0 +1,146 @@
+"""Tests for pattern-key encoding — including the paper's Tables I–III."""
+
+import pytest
+
+from repro.core.keys import KeyCodec, PatternKey
+
+
+class TestPaperTables:
+    """Reproduce Tables I, II and III verbatim from the Fig. 3 scenario."""
+
+    def test_table_1_region_keys(self, jane_codec):
+        rows = jane_codec.region_key_table()
+        # Table I: R00->00001, R10->00010, R11->00100, R20->01000, R21->10000.
+        assert rows == [
+            ("R_0^0", 0, "00001"),
+            ("R_1^0", 1, "00010"),
+            ("R_1^1", 2, "00100"),
+            ("R_2^0", 3, "01000"),
+            ("R_2^1", 4, "10000"),
+        ]
+
+    def test_table_2_consequence_keys(self, jane_codec):
+        rows = jane_codec.consequence_key_table()
+        # Table II: offset 1 -> id 0 -> 01; offset 2 -> id 1 -> 10.
+        assert rows == [(1, 0, "01"), (2, 1, "10")]
+
+    def test_table_3_pattern_keys(self, jane_codec, jane_patterns):
+        keys = [jane_codec.encode_pattern(p).to_bit_string() for p in jane_patterns]
+        # Table III: P0 and P1 share 0100001; P2 is 1000011; P3 is 1000101.
+        assert keys == ["0100001", "0100001", "1000011", "1000101"]
+
+    def test_section_vi_query_key_example(self, jane_codec, jane_regions):
+        """Section VI-B: recent movements R00, R10 with tq = 2 -> 1000011."""
+        key = jane_codec.encode_query(
+            [jane_regions["home"], jane_regions["city"]], query_offset=2
+        )
+        assert key.to_bit_string() == "1000011"
+
+
+class TestPatternKey:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            PatternKey(value=1, premise_length=0, consequence_length=1)
+        with pytest.raises(ValueError):
+            PatternKey(value=-1, premise_length=2, consequence_length=1)
+        with pytest.raises(ValueError):
+            PatternKey(value=0b1000, premise_length=2, consequence_length=1)
+
+    def test_part_extraction(self):
+        key = PatternKey(value=0b10_011, premise_length=3, consequence_length=2)
+        assert key.premise_key == 0b011
+        assert key.consequence_key == 0b10
+        assert key.width == 5
+
+    def test_intersects_requires_both_parts(self):
+        a = PatternKey(0b10_011, 3, 2)
+        same_ck_no_rk = PatternKey(0b10_100, 3, 2)
+        same_rk_no_ck = PatternKey(0b01_001, 3, 2)
+        both = PatternKey(0b10_001, 3, 2)
+        assert not a.intersects(same_ck_no_rk)
+        assert not a.intersects(same_rk_no_ck)
+        assert a.intersects(both)
+
+    def test_incompatible_codecs_rejected(self):
+        a = PatternKey(0b1, 1, 1)
+        b = PatternKey(0b1, 2, 1)
+        with pytest.raises(ValueError):
+            a.intersects(b)
+
+    def test_contains_and_difference(self):
+        a = PatternKey(0b11_111, 3, 2)
+        b = PatternKey(0b10_101, 3, 2)
+        assert a.contains(b)
+        assert not b.contains(a)
+        assert a.difference(b) == 2
+        assert b.difference(a) == 0
+
+    def test_size(self):
+        assert PatternKey(0b10_101, 3, 2).size() == 3
+
+
+class TestKeyCodec:
+    def test_from_patterns_collects_offsets(self, jane_codec):
+        assert jane_codec.consequence_offsets() == [1, 2]
+        assert jane_codec.premise_length == 5
+        assert jane_codec.consequence_length == 2
+        assert jane_codec.pattern_key_length == 7
+
+    def test_region_key_is_hash_of_id(self, jane_codec, jane_region_set):
+        for region in jane_region_set:
+            assert jane_codec.region_key(region) == 1 << jane_region_set.region_id(region)
+
+    def test_unknown_offset_consequence_key(self, jane_codec):
+        assert jane_codec.consequence_key(0) is None
+        assert jane_codec.consequence_key(1) == 0b01
+
+    def test_consequence_mask_skips_unknown(self, jane_codec):
+        assert jane_codec.consequence_mask([0, 1, 2]) == 0b11
+        assert jane_codec.consequence_mask([0]) == 0
+
+    def test_encode_query_unknown_offset_gives_empty_ck(self, jane_codec, jane_regions):
+        key = jane_codec.encode_query([jane_regions["home"]], query_offset=0)
+        assert key.consequence_key == 0
+        assert key.premise_key == 0b00001
+
+    def test_encode_query_wraps_offset_by_period(self, jane_codec, jane_regions):
+        # Period is 3; query offset 4 == offset 1.
+        key = jane_codec.encode_query([jane_regions["home"]], query_offset=4)
+        assert key.consequence_key == 0b01
+
+    def test_encode_pattern_unknown_offset_rejected(
+        self, jane_region_set, jane_patterns
+    ):
+        codec = KeyCodec(jane_region_set, consequence_offsets=[1])
+        with pytest.raises(ValueError, match="rebuild"):
+            codec.encode_pattern(jane_patterns[2])  # consequence offset 2
+
+    def test_covers(self, jane_codec, jane_patterns, jane_region_set):
+        assert all(jane_codec.covers(p) for p in jane_patterns)
+        partial = KeyCodec(jane_region_set, consequence_offsets=[1])
+        assert partial.covers(jane_patterns[0])
+        assert not partial.covers(jane_patterns[2])
+
+    def test_covers_foreign_region(self, jane_codec, jane_patterns):
+        from tests.core.conftest import make_region
+        from repro.core.patterns import TrajectoryPattern
+
+        foreign = make_region(0, 7, 50.0, 50.0)
+        pattern = TrajectoryPattern(
+            (foreign,), make_region(1, 8, 60.0, 60.0), support=4, confidence=0.5
+        )
+        assert not jane_codec.covers(pattern)
+
+    def test_wrap_round_trip(self, jane_codec, jane_patterns):
+        key = jane_codec.encode_pattern(jane_patterns[2])
+        assert jane_codec.wrap(key.value) == key
+
+    def test_empty_region_set_rejected(self):
+        from repro.core.regions import RegionSet
+
+        with pytest.raises(ValueError):
+            KeyCodec(RegionSet([], period=3, eps=1.0), [1])
+
+    def test_offset_out_of_period_rejected(self, jane_region_set):
+        with pytest.raises(ValueError):
+            KeyCodec(jane_region_set, consequence_offsets=[3])

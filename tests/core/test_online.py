@@ -1,0 +1,119 @@
+"""Tests for the streaming OnlineTracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HPMConfig
+from repro.core.model import HybridPredictionModel
+from repro.core.online import OnlineTracker
+from repro.trajectory import Point, Trajectory
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(0)
+    period = 12
+    base = np.column_stack(
+        [70.0 * np.arange(period), 20.0 * np.arange(period)]
+    )
+    blocks = [base + rng.normal(0, 0.6, base.shape) for _ in range(20)]
+    cfg = HPMConfig(
+        period=period, eps=5.0, min_pts=4, distant_threshold=5, recent_window=4
+    )
+    return HybridPredictionModel(cfg).fit(Trajectory(np.vstack(blocks))), base
+
+
+class TestObserve:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            OnlineTracker(HybridPredictionModel(period=12, distant_threshold=5))
+
+    def test_window_is_bounded(self, world):
+        model, base = world
+        tracker = OnlineTracker(model)
+        for t in range(10):
+            tracker.observe(240 + t, *base[t % 12])
+        assert len(tracker.window) == model.config.recent_window
+        assert tracker.current_time == 249
+
+    def test_rejects_out_of_order(self, world):
+        model, base = world
+        tracker = OnlineTracker(model)
+        tracker.observe(240, *base[0])
+        with pytest.raises(ValueError, match="not after"):
+            tracker.observe(240, *base[1])
+        with pytest.raises(ValueError, match="not after"):
+            tracker.observe(239, *base[1])
+
+    def test_queries_require_fixes(self, world):
+        model, _ = world
+        tracker = OnlineTracker(model)
+        with pytest.raises(ValueError, match="no fixes"):
+            tracker.predict(100)
+        with pytest.raises(ValueError, match="no fixes"):
+            tracker.current_time
+
+
+class TestPredict:
+    def test_tracks_route(self, world):
+        model, base = world
+        tracker = OnlineTracker(model)
+        t0 = 240  # offset 0 of a new period
+        for t in range(3):
+            tracker.observe(t0 + t, *base[t])
+        prediction = tracker.predict_in(4)[0]
+        truth = Point(*base[6])
+        assert prediction.location.distance_to(truth) < 8.0
+
+    def test_predict_in_validation(self, world):
+        model, base = world
+        tracker = OnlineTracker(model)
+        tracker.observe(240, *base[0])
+        with pytest.raises(ValueError):
+            tracker.predict_in(0)
+
+    def test_predict_matches_manual_window(self, world):
+        model, base = world
+        tracker = OnlineTracker(model)
+        t0 = 240
+        for t in range(4):
+            tracker.observe(t0 + t, *base[t])
+        direct = model.predict(tracker.window, t0 + 7, k=1)[0]
+        via_tracker = tracker.predict(t0 + 7, k=1)[0]
+        assert direct.location == via_tracker.location
+        assert direct.method == via_tracker.method
+
+
+class TestUpdates:
+    def test_update_due_and_flush(self, world):
+        model, base = world
+        tracker = OnlineTracker(model, update_after=12)
+        history_before = len(model.history_)
+        t0 = 240
+        for t in range(12):
+            tracker.observe(t0 + t, *base[t])
+            if t < 11:
+                assert not tracker.update_due
+        assert tracker.update_due
+        assert tracker.pending_count == 12
+        flushed = tracker.flush_updates()
+        assert flushed == 12
+        assert tracker.pending_count == 0
+        assert not tracker.update_due
+        assert len(model.history_) == history_before + 12
+
+    def test_flush_empty_is_noop(self, world):
+        model, _ = world
+        tracker = OnlineTracker(model)
+        assert tracker.flush_updates() == 0
+
+    def test_update_after_validation(self, world):
+        model, _ = world
+        with pytest.raises(ValueError):
+            OnlineTracker(model, update_after=0)
+
+    def test_repr(self, world):
+        model, base = world
+        tracker = OnlineTracker(model)
+        tracker.observe(240, *base[0])
+        assert "pending=1" in repr(tracker)

@@ -1,0 +1,111 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HPMConfig
+from repro.core.model import HybridPredictionModel
+from repro.core.persistence import load_model, save_model
+from repro.trajectory import TimedPoint, Trajectory
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    rng = np.random.default_rng(0)
+    period = 14
+    base = np.column_stack(
+        [60.0 * np.arange(period), 30.0 * np.arange(period)]
+    )
+    blocks = [base + rng.normal(0, 0.8, base.shape) for _ in range(20)]
+    cfg = HPMConfig(
+        period=period, eps=5.0, min_pts=4, distant_threshold=5, recent_window=3
+    )
+    model = HybridPredictionModel(cfg).fit(Trajectory(np.vstack(blocks)))
+    return model, base
+
+
+class TestRoundTrip:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(
+                HybridPredictionModel(period=10, distant_threshold=4),
+                tmp_path / "m.npz",
+            )
+
+    def test_state_preserved(self, fitted_model, tmp_path):
+        model, _ = fitted_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+
+        assert loaded.config == model.config
+        assert len(loaded.history_) == len(model.history_)
+        assert len(loaded.regions_) == len(model.regions_)
+        assert loaded.pattern_count == model.pattern_count
+        # Patterns match as multisets of (premise labels, consequence, conf).
+        def keys(m):
+            return sorted(
+                (
+                    tuple(r.label for r in p.premise),
+                    p.consequence.label,
+                    round(p.confidence, 9),
+                    p.support,
+                )
+                for p in m.patterns_
+            )
+
+        assert keys(loaded) == keys(model)
+        loaded.tree_.validate()
+
+    def test_predictions_identical(self, fitted_model, tmp_path):
+        model, base = fitted_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+
+        t0 = 20 * 14
+        recent = [TimedPoint(t0 + t, *base[t]) for t in range(3)]
+        for horizon in (4, 6, 8, 11):
+            a = model.predict_one(recent, t0 + horizon)
+            b = loaded.predict_one(recent, t0 + horizon)
+            assert a.method == b.method
+            assert a.location == b.location
+            assert a.score == pytest.approx(b.score) if a.score else b.score is None
+
+    def test_update_works_after_reload(self, fitted_model, tmp_path):
+        model, base = fitted_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        rng = np.random.default_rng(4)
+        loaded.update(base + rng.normal(0, 0.8, base.shape))
+        assert len(loaded.history_) == len(model.history_) + len(base)
+
+    def test_version_check(self, fitted_model, tmp_path):
+        import json
+
+        model, _ = fitted_model
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        # Corrupt the version field.
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        meta["format_version"] = 999
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="unsupported model format"):
+            load_model(path)
+
+    def test_pattern_free_model_round_trip(self, tmp_path):
+        rng = np.random.default_rng(5)
+        traj = Trajectory(rng.uniform(0, 10000, (140, 2)))
+        model = HybridPredictionModel(
+            HPMConfig(period=14, eps=5.0, min_pts=9, distant_threshold=5)
+        ).fit(traj)
+        assert model.pattern_count == 0
+        path = tmp_path / "empty.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.pattern_count == 0
+        recent = [TimedPoint(200 + i, float(i), 0.0) for i in range(8)]
+        assert loaded.predict_one(recent, 212).method == "motion"

@@ -1,0 +1,74 @@
+"""Tests for the trajectory-range prediction extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HPMConfig
+from repro.core.model import HybridPredictionModel
+from repro.trajectory import Point, TimedPoint, Trajectory
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = np.random.default_rng(0)
+    period = 16
+    base = np.column_stack(
+        [70.0 * np.arange(period), 35.0 * np.arange(period)]
+    )
+    blocks = [base + rng.normal(0, 0.8, base.shape) for _ in range(25)]
+    cfg = HPMConfig(
+        period=period, eps=5.0, min_pts=4, distant_threshold=6, recent_window=3
+    )
+    model = HybridPredictionModel(cfg).fit(Trajectory(np.vstack(blocks)))
+    return model, base
+
+
+class TestPredictTrajectory:
+    def test_range_and_stride(self, world):
+        model, base = world
+        t0 = 25 * 16
+        recent = [TimedPoint(t0 + t, *base[t]) for t in range(3)]
+        results = model.predict_trajectory(recent, t0 + 4, t0 + 12, step=2)
+        assert [t for t, _ in results] == [t0 + 4, t0 + 6, t0 + 8, t0 + 10, t0 + 12]
+
+    def test_transitions_fqp_to_bqp(self, world):
+        model, base = world
+        t0 = 25 * 16
+        recent = [TimedPoint(t0 + t, *base[t]) for t in range(3)]
+        results = model.predict_trajectory(recent, t0 + 3, t0 + 12)
+        methods = [p.method for _, p in results]
+        # Horizon crosses d=6 relative to tc=t0+2: first few FQP, rest BQP.
+        assert "fqp" in methods and "bqp" in methods
+        assert methods.index("bqp") > 0
+        # Methods are monotone: once distant, stays distant.
+        first_bqp = methods.index("bqp")
+        assert all(m == "bqp" for m in methods[first_bqp:])
+
+    def test_predictions_track_route(self, world):
+        model, base = world
+        t0 = 25 * 16
+        recent = [TimedPoint(t0 + t, *base[t]) for t in range(3)]
+        results = model.predict_trajectory(recent, t0 + 3, t0 + 12)
+        for t, prediction in results:
+            truth = Point(*base[t % 16])
+            assert prediction.location.distance_to(truth) < 10.0
+
+    def test_validation(self, world):
+        model, base = world
+        t0 = 25 * 16
+        recent = [TimedPoint(t0, *base[0])]
+        with pytest.raises(ValueError):
+            model.predict_trajectory(recent, t0 + 5, t0 + 3)
+        with pytest.raises(ValueError):
+            model.predict_trajectory(recent, t0 + 1, t0 + 3, step=0)
+
+    def test_pattern_free_mode_uses_motion(self):
+        rng = np.random.default_rng(1)
+        traj = Trajectory(rng.uniform(0, 10000, (160, 2)))
+        model = HybridPredictionModel(
+            HPMConfig(period=16, eps=5.0, min_pts=9, distant_threshold=6)
+        ).fit(traj)
+        assert model.pattern_count == 0
+        recent = [TimedPoint(200 + i, 10.0 * i, 0.0) for i in range(8)]
+        results = model.predict_trajectory(recent, 210, 214)
+        assert all(p.method == "motion" for _, p in results)

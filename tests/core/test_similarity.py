@@ -1,0 +1,218 @@
+"""Tests for similarity measures — including the paper's worked examples."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    WEIGHT_FUNCTIONS,
+    bqp_score,
+    consequence_similarity,
+    fqp_score,
+    premise_similarity,
+    premise_weights,
+)
+
+keys = st.integers(min_value=0, max_value=2**32 - 1)
+kinds = st.sampled_from(sorted(WEIGHT_FUNCTIONS))
+
+
+class TestPaperExamples:
+    """Worked numbers from Section VI-A/VI-B."""
+
+    def test_identical_premise_keys_similarity_one(self):
+        # "the premise similarity between rk = 00011 and rkq = 00011 is 1"
+        assert premise_similarity(0b00011, 0b00011, "linear") == pytest.approx(1.0)
+
+    def test_partial_match_two_thirds(self):
+        # "the similarity between rk = 00011 and rkq = 00010 is 2/3"
+        assert premise_similarity(0b00011, 0b00010, "linear") == pytest.approx(2 / 3)
+
+    def test_linear_weights_example(self):
+        # "for premise key 00011, the '1' at position 2 has a larger weight
+        # (2/3) than that of the '1' at position 1 (1/3)"
+        assert premise_weights(2, "linear") == pytest.approx([1 / 3, 2 / 3])
+
+    def test_fqp_example_winning_pattern(self):
+        # Sp(1000011, 1000011) = 1 x 0.5 = 0.5
+        sr = premise_similarity(0b00011, 0b00011, "linear")
+        assert fqp_score(sr, 0.5) == pytest.approx(0.5)
+
+    def test_fqp_example_losing_pattern(self):
+        # Sp(1000101, 1000011) = 0.33 x 0.4 = 0.132
+        sr = premise_similarity(0b00101, 0b00011, "linear")
+        assert sr == pytest.approx(1 / 3)
+        assert fqp_score(sr, 0.4) == pytest.approx(0.4 / 3)
+
+
+class TestWeightFunctions:
+    def test_families_exist(self):
+        assert set(WEIGHT_FUNCTIONS) == {
+            "linear",
+            "quadratic",
+            "exponential",
+            "factorial",
+        }
+
+    def test_quadratic(self):
+        assert premise_weights(2, "quadratic") == pytest.approx([1 / 5, 4 / 5])
+
+    def test_exponential(self):
+        assert premise_weights(3, "exponential") == pytest.approx(
+            [2 / 14, 4 / 14, 8 / 14]
+        )
+
+    def test_factorial(self):
+        total = 1 + 2 + 6
+        assert premise_weights(3, "factorial") == pytest.approx(
+            [1 / total, 2 / total, 6 / total]
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown weight function"):
+            premise_weights(2, "cubic")
+
+    def test_zero_ones(self):
+        assert premise_weights(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            premise_weights(-1)
+
+    @given(st.integers(1, 20), kinds)
+    def test_weights_sum_to_one(self, n, kind):
+        assert sum(premise_weights(n, kind)) == pytest.approx(1.0)
+
+    @given(st.integers(2, 20), kinds)
+    def test_weights_increase_with_position(self, n, kind):
+        w = premise_weights(n, kind)
+        assert all(b > a for a, b in zip(w, w[1:]))
+
+
+class TestPremiseSimilarity:
+    def test_empty_pattern_premise(self):
+        assert premise_similarity(0, 0b111) == 0.0
+
+    def test_no_overlap(self):
+        assert premise_similarity(0b110, 0b001) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            premise_similarity(-1, 0)
+
+    def test_recent_bit_weighs_more(self):
+        """Property 1: the higher '1' is closer to the consequence."""
+        rk = 0b101
+        low_match = premise_similarity(rk, 0b001)
+        high_match = premise_similarity(rk, 0b100)
+        assert high_match > low_match
+
+    @given(keys, keys, kinds)
+    def test_bounds(self, rk, rkq, kind):
+        s = premise_similarity(rk, rkq, kind)
+        assert 0.0 <= s <= 1.0 + 1e-12
+
+    @given(keys, kinds)
+    def test_self_similarity_is_one(self, rk, kind):
+        if rk:
+            assert premise_similarity(rk, rk, kind) == pytest.approx(1.0)
+
+    @given(keys, keys, keys, kinds)
+    def test_monotone_in_query_bits(self, rk, rkq, extra, kind):
+        """Adding bits to the query never lowers similarity."""
+        assert premise_similarity(rk, rkq | extra, kind) >= premise_similarity(
+            rk, rkq, kind
+        ) - 1e-12
+
+
+class TestQuerySimilarity:
+    def test_full_key_convenience_matches_premise_parts(self):
+        from repro.core.keys import PatternKey
+        from repro.core.similarity import query_similarity
+
+        pk = PatternKey(0b10_00011, 5, 2)
+        qk = PatternKey(0b10_00010, 5, 2)
+        assert query_similarity(pk, qk, "linear") == pytest.approx(
+            premise_similarity(0b00011, 0b00010, "linear")
+        )
+
+
+class TestConsequenceSimilarity:
+    def test_exact_offset(self):
+        assert consequence_similarity(0, 2) == pytest.approx(1.0)
+
+    def test_paper_formula(self):
+        # Sc = 1 - |tq - t| / (t_eps + 1)
+        assert consequence_similarity(1, 2) == pytest.approx(1 - 1 / 3)
+        assert consequence_similarity(2, 2) == pytest.approx(1 - 2 / 3)
+
+    def test_clamped_at_zero(self):
+        assert consequence_similarity(10, 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            consequence_similarity(-1, 2)
+        with pytest.raises(ValueError):
+            consequence_similarity(1, -1)
+
+    @given(st.integers(0, 50), st.integers(0, 50))
+    def test_bounds(self, dist, relax):
+        assert 0.0 <= consequence_similarity(dist, relax) <= 1.0
+
+    @given(st.integers(0, 20), st.integers(0, 20), st.integers(1, 10))
+    def test_monotone_decreasing_in_distance(self, d1, d2, relax):
+        lo, hi = sorted((d1, d2))
+        assert consequence_similarity(lo, relax) >= consequence_similarity(hi, relax)
+
+
+class TestScores:
+    def test_fqp_score_is_product(self):
+        assert fqp_score(0.5, 0.8) == pytest.approx(0.4)
+
+    def test_fqp_validation(self):
+        with pytest.raises(ValueError):
+            fqp_score(1.5, 0.5)
+        with pytest.raises(ValueError):
+            fqp_score(0.5, -0.1)
+
+    def test_bqp_equation_5(self):
+        # Sp = (Sr * d/(tq - tc) + Sc) * c
+        score = bqp_score(
+            premise_sim=0.5,
+            consequence_sim=0.8,
+            confidence=0.6,
+            distant_threshold=60,
+            horizon=120,
+        )
+        assert score == pytest.approx((0.5 * 0.5 + 0.8) * 0.6)
+
+    def test_bqp_penalty_capped_at_one(self):
+        """d/(tq-tc) <= 1 per the paper's constraint on Eq. 5."""
+        near = bqp_score(1.0, 0.0, 1.0, distant_threshold=60, horizon=30)
+        assert near == pytest.approx(1.0)
+
+    def test_bqp_validation(self):
+        with pytest.raises(ValueError):
+            bqp_score(0.5, 0.5, 0.5, 60, 0)
+        with pytest.raises(ValueError):
+            bqp_score(0.5, 0.5, 0.5, 0, 10)
+
+    @given(
+        st.floats(0, 1),
+        st.floats(0, 1),
+        st.floats(0, 1),
+        st.integers(1, 100),
+        st.integers(1, 300),
+    )
+    def test_bqp_bounds(self, sr, sc, c, d, horizon):
+        score = bqp_score(sr, sc, c, d, horizon)
+        assert 0.0 <= score <= 2.0
+
+    @given(st.floats(0, 1), st.floats(0, 1), st.integers(1, 50))
+    def test_bqp_premise_penalised_with_horizon(self, sr, c, d):
+        """Longer horizons weigh the premise less (Section VI-C)."""
+        near = bqp_score(sr, 0.5, c, d, horizon=d + 1)
+        far = bqp_score(sr, 0.5, c, d, horizon=10 * d)
+        assert near >= far - 1e-12

@@ -1,0 +1,147 @@
+"""Tests for the Trajectory Pattern Tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import KeyCodec
+from repro.core.tpt import TrajectoryPatternTree
+from repro.evalx import synthesize_patterns, synthesize_regions
+
+
+@pytest.fixture
+def jane_tree(jane_codec, jane_patterns):
+    tree = TrajectoryPatternTree(jane_codec, max_entries=4)
+    for p in jane_patterns:
+        tree.insert_pattern(p)
+    return tree
+
+
+class TestPaperSearchExample:
+    def test_fig4_query_retrieves_two_candidates(
+        self, jane_tree, jane_codec, jane_regions
+    ):
+        """Section VI-B: query 1000011 matches patterns P2 and P3."""
+        query = jane_codec.encode_query(
+            [jane_regions["home"], jane_regions["city"]], query_offset=2
+        )
+        hits = jane_tree.search_candidates(query)
+        consequences = sorted(p.consequence.label for p, _ in hits)
+        assert consequences == ["R_2^0", "R_2^1"]
+
+    def test_query_at_offset_1_matches_p0_p1(
+        self, jane_tree, jane_codec, jane_regions
+    ):
+        query = jane_codec.encode_query([jane_regions["home"]], query_offset=1)
+        hits = jane_tree.search_candidates(query)
+        consequences = sorted(p.consequence.label for p, _ in hits)
+        assert consequences == ["R_1^0", "R_1^1"]
+
+    def test_no_premise_overlap_no_candidates(
+        self, jane_tree, jane_codec, jane_regions
+    ):
+        # Recent movement only in the City; P2's premise includes City, so
+        # it matches; but a premise of only Beach-area regions matches none
+        # whose premise intersects.  Use a region absent from any premise:
+        query = jane_codec.encode_query([jane_regions["work"]], query_offset=2)
+        assert jane_tree.search_candidates(query) == []
+
+    def test_unknown_query_offset_no_candidates(
+        self, jane_tree, jane_codec, jane_regions
+    ):
+        query = jane_codec.encode_query([jane_regions["home"]], query_offset=0)
+        assert jane_tree.search_candidates(query) == []
+
+    def test_search_by_consequence_ignores_premise(self, jane_tree, jane_codec):
+        mask = jane_codec.consequence_mask([2])
+        hits = jane_tree.search_by_consequence(mask)
+        assert sorted(p.consequence.label for p, _ in hits) == ["R_2^0", "R_2^1"]
+
+    def test_search_by_consequence_empty_mask(self, jane_tree):
+        assert jane_tree.search_by_consequence(0) == []
+        with pytest.raises(ValueError):
+            jane_tree.search_by_consequence(-1)
+
+
+class TestTreeAtScale:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = np.random.default_rng(11)
+        regions = synthesize_regions(60, period=50, rng=rng)
+        patterns = synthesize_patterns(regions, 2000, rng)
+        codec = KeyCodec.from_patterns(regions, patterns)
+        return regions, patterns, codec
+
+    def test_insert_preserves_invariants(self, corpus):
+        _, patterns, codec = corpus
+        tree = TrajectoryPatternTree(codec, max_entries=8)
+        for p in patterns:
+            tree.insert_pattern(p)
+        tree.validate()
+        assert len(tree) == len(patterns)
+
+    def test_bulk_load_preserves_invariants(self, corpus):
+        _, patterns, codec = corpus
+        tree = TrajectoryPatternTree(codec, max_entries=8)
+        tree.bulk_load_patterns(patterns)
+        tree.validate()
+        assert len(tree.all_patterns()) == len(patterns)
+
+    def test_search_matches_bruteforce(self, corpus):
+        _, patterns, codec = corpus
+        tree = TrajectoryPatternTree(codec, max_entries=8)
+        tree.bulk_load_patterns(patterns)
+        encoded = [(codec.encode_pattern(p), p) for p in patterns]
+        rng = np.random.default_rng(12)
+        for _ in range(25):
+            probe = patterns[int(rng.integers(len(patterns)))]
+            query = codec.encode_query(probe.premise, probe.consequence_offset)
+            got = sorted(
+                str(p) for p, _ in tree.search_candidates(query)
+            )
+            expected = sorted(
+                str(p) for key, p in encoded if key.intersects(query)
+            )
+            assert got == expected
+            assert str(probe) in expected  # the probe itself must match
+
+    def test_consequence_search_matches_bruteforce(self, corpus):
+        _, patterns, codec = corpus
+        tree = TrajectoryPatternTree(codec, max_entries=8)
+        tree.bulk_load_patterns(patterns)
+        rng = np.random.default_rng(13)
+        offsets = codec.consequence_offsets()
+        for _ in range(10):
+            window = {offsets[int(rng.integers(len(offsets)))]}
+            mask = codec.consequence_mask(window)
+            got = sorted(str(p) for p, _ in tree.search_by_consequence(mask))
+            expected = sorted(
+                str(p) for p in patterns if p.consequence_offset in window
+            )
+            assert got == expected
+
+    def test_tpt_visits_fewer_leaves_than_bruteforce(self, corpus):
+        """The index must actually prune: a narrow query touches a strict
+        subset of the tree's entries."""
+        _, patterns, codec = corpus
+        tree = TrajectoryPatternTree(codec, max_entries=8)
+        tree.bulk_load_patterns(patterns)
+        probe = patterns[0]
+        query = codec.encode_query(probe.premise, probe.consequence_offset)
+        hits = tree.search_candidates(query)
+        assert 0 < len(hits) < len(patterns)
+
+
+class TestChooseLeafCases:
+    def test_contained_key_goes_to_containing_entry(self, jane_codec, jane_patterns):
+        """Algorithm 1 line 5-6: a contained key follows the containing
+        subtree — after inserting a superset pattern, inserting a subset
+        lands in the same leaf."""
+        tree = TrajectoryPatternTree(jane_codec, max_entries=4)
+        # Force a split so the root is internal.
+        for p in jane_patterns * 2:
+            tree.insert_pattern(p)
+        before = tree.stats()
+        tree.insert_pattern(jane_patterns[0])
+        after = tree.stats()
+        assert after.entry_count == before.entry_count + 1
+        tree.validate()

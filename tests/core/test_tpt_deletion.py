@@ -1,0 +1,63 @@
+"""Tests for TPT pattern removal and expiry."""
+
+import pytest
+
+from repro.core.tpt import TrajectoryPatternTree
+
+
+@pytest.fixture
+def loaded_tree(jane_codec, jane_patterns):
+    tree = TrajectoryPatternTree(jane_codec, max_entries=4)
+    tree.bulk_load_patterns(jane_patterns)
+    return tree
+
+
+class TestRemovePattern:
+    def test_remove_existing(self, loaded_tree, jane_patterns):
+        target = jane_patterns[2]
+        assert loaded_tree.remove_pattern(target)
+        assert len(loaded_tree) == 3
+        assert str(target) not in {str(p) for p in loaded_tree.all_patterns()}
+        loaded_tree.validate()
+
+    def test_remove_twice_fails_second_time(self, loaded_tree, jane_patterns):
+        assert loaded_tree.remove_pattern(jane_patterns[0])
+        assert not loaded_tree.remove_pattern(jane_patterns[0])
+
+    def test_shared_key_removes_only_matching_pattern(
+        self, loaded_tree, jane_patterns, jane_codec
+    ):
+        """P0 and P1 share pattern key 0100001; removing P0 keeps P1."""
+        p0, p1 = jane_patterns[0], jane_patterns[1]
+        assert jane_codec.encode_pattern(p0) == jane_codec.encode_pattern(p1)
+        assert loaded_tree.remove_pattern(p0)
+        remaining = {str(p) for p in loaded_tree.all_patterns()}
+        assert str(p1) in remaining
+        assert str(p0) not in remaining
+
+    def test_search_consistent_after_removal(
+        self, loaded_tree, jane_patterns, jane_codec, jane_regions
+    ):
+        loaded_tree.remove_pattern(jane_patterns[2])  # home∧city -> work
+        query = jane_codec.encode_query(
+            [jane_regions["home"], jane_regions["city"]], query_offset=2
+        )
+        hits = loaded_tree.search_candidates(query)
+        assert sorted(p.consequence.label for p, _ in hits) == ["R_2^1"]
+
+
+class TestExpiry:
+    def test_expire_by_confidence(self, loaded_tree):
+        removed = loaded_tree.expire_patterns(lambda p: p.confidence < 0.5)
+        assert removed == 1  # only P3 (0.4)
+        assert all(p.confidence >= 0.5 for p in loaded_tree.all_patterns())
+        loaded_tree.validate()
+
+    def test_expire_none(self, loaded_tree):
+        assert loaded_tree.expire_patterns(lambda p: False) == 0
+        assert len(loaded_tree) == 4
+
+    def test_expire_all(self, loaded_tree):
+        assert loaded_tree.expire_patterns(lambda p: True) == 4
+        assert len(loaded_tree) == 0
+        loaded_tree.validate()

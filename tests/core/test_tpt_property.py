@@ -1,0 +1,88 @@
+"""Property-based tests: TPT search correctness over random corpora."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keys import KeyCodec
+from repro.core.tpt import TrajectoryPatternTree
+from repro.evalx import synthesize_patterns, synthesize_regions
+
+
+@st.composite
+def corpora(draw):
+    seed = draw(st.integers(0, 10_000))
+    num_regions = draw(st.integers(5, 40))
+    period = draw(st.integers(10, 60))
+    num_patterns = draw(st.integers(1, 120))
+    max_entries = draw(st.sampled_from([4, 8, 16]))
+    rng = np.random.default_rng(seed)
+    regions = synthesize_regions(num_regions, period, rng)
+    patterns = synthesize_patterns(regions, num_patterns, rng)
+    return regions, patterns, max_entries, seed
+
+
+class TestTPTProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(corpora())
+    def test_search_equals_bruteforce(self, corpus):
+        regions, patterns, max_entries, seed = corpus
+        codec = KeyCodec.from_patterns(regions, patterns)
+        tree = TrajectoryPatternTree(codec, max_entries=max_entries)
+        tree.bulk_load_patterns(patterns)
+        tree.validate()
+
+        encoded = [(codec.encode_pattern(p), p) for p in patterns]
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            probe = patterns[int(rng.integers(len(patterns)))]
+            query = codec.encode_query(probe.premise, probe.consequence_offset)
+            got = sorted(str(p) for p, _ in tree.search_candidates(query))
+            expected = sorted(str(p) for k, p in encoded if k.intersects(query))
+            assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(corpora())
+    def test_consequence_search_equals_bruteforce(self, corpus):
+        regions, patterns, max_entries, seed = corpus
+        codec = KeyCodec.from_patterns(regions, patterns)
+        tree = TrajectoryPatternTree(codec, max_entries=max_entries)
+        tree.bulk_load_patterns(patterns)
+
+        rng = np.random.default_rng(seed + 2)
+        offsets = codec.consequence_offsets()
+        window = {
+            offsets[int(rng.integers(len(offsets)))],
+            offsets[int(rng.integers(len(offsets)))],
+        }
+        mask = codec.consequence_mask(window)
+        got = sorted(str(p) for p, _ in tree.search_by_consequence(mask))
+        expected = sorted(
+            str(p) for p in patterns if p.consequence_offset in window
+        )
+        assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(corpora())
+    def test_insert_then_delete_round_trip(self, corpus):
+        regions, patterns, max_entries, seed = corpus
+        codec = KeyCodec.from_patterns(regions, patterns)
+        tree = TrajectoryPatternTree(codec, max_entries=max_entries)
+        for p in patterns:
+            tree.insert_pattern(p)
+        # Delete every other pattern; the survivors must be intact.
+        for p in patterns[::2]:
+            assert tree.remove_pattern(p)
+        tree.validate()
+        # Deletion matches on (premise, consequence) — synthesized corpora
+        # can contain duplicates of that identity with different
+        # confidences, so compare multisets of the matched identity.
+        def identity(p):
+            return (p.premise, p.consequence)
+
+        survivors = sorted(map(identity, tree.all_patterns()), key=str)
+        expected = sorted(map(identity, patterns), key=str)
+        for p in patterns[::2]:
+            expected.remove(identity(p))
+        assert survivors == expected

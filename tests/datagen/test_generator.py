@@ -1,0 +1,115 @@
+"""Tests for the periodic trajectory generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import PeriodicTrajectoryGenerator, Route, WeightedRoute
+
+
+@pytest.fixture
+def straight_route():
+    return Route(np.array([[0.0, 0.0], [1000.0, 0.0]]))
+
+
+class TestValidation:
+    def test_needs_routes(self):
+        with pytest.raises(ValueError):
+            PeriodicTrajectoryGenerator([], 0.5, 1.0)
+
+    def test_probability_bounds(self, straight_route):
+        with pytest.raises(ValueError):
+            PeriodicTrajectoryGenerator([straight_route], 1.5, 1.0)
+
+    def test_noise_bounds(self, straight_route):
+        with pytest.raises(ValueError):
+            PeriodicTrajectoryGenerator([straight_route], 0.5, -1.0)
+
+    def test_deviation_mode(self, straight_route):
+        with pytest.raises(ValueError):
+            PeriodicTrajectoryGenerator(
+                [straight_route], 0.5, 1.0, deviation_mode="fly"
+            )
+
+    def test_phase_jitter_bounds(self, straight_route):
+        with pytest.raises(ValueError):
+            PeriodicTrajectoryGenerator(
+                [straight_route], 0.5, 1.0, phase_jitter=0.5
+            )
+
+    def test_weight_positive(self, straight_route):
+        with pytest.raises(ValueError):
+            WeightedRoute(straight_route, 0.0)
+
+    def test_generate_validation(self, straight_route):
+        gen = PeriodicTrajectoryGenerator([straight_route], 0.5, 1.0)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gen.generate(0, 10, rng)
+        with pytest.raises(ValueError):
+            gen.generate(5, 1, rng)
+
+
+class TestGeneration:
+    def test_shape(self, straight_route):
+        gen = PeriodicTrajectoryGenerator([straight_route], 0.9, 1.0)
+        traj = gen.generate(7, 20, np.random.default_rng(0))
+        assert len(traj) == 140
+
+    def test_normalised_to_extent(self, straight_route):
+        gen = PeriodicTrajectoryGenerator([straight_route], 0.9, 1.0, extent=500.0)
+        traj = gen.generate(5, 20, np.random.default_rng(0))
+        box = traj.bounding_box()
+        assert box.min_x >= 0 and box.min_y >= 0
+        assert max(box.max_x, box.max_y) <= 500.0 + 1e-9
+        assert max(box.width, box.height) == pytest.approx(500.0)
+
+    def test_patterned_days_cluster_by_offset(self, straight_route):
+        """With f=1 and small noise, every offset group is a tight cluster."""
+        gen = PeriodicTrajectoryGenerator([straight_route], 1.0, 1.0)
+        traj = gen.generate(20, 10, np.random.default_rng(1))
+        for group in traj.offset_groups(10):
+            spread = group.positions.std(axis=0).max()
+            assert spread < 50.0  # scaled noise stays small
+
+    def test_pattern_probability_zero_gives_no_alignment(self, straight_route):
+        gen = PeriodicTrajectoryGenerator(
+            [straight_route], 0.0, 1.0, deviation_mode="walk"
+        )
+        traj = gen.generate(20, 10, np.random.default_rng(2))
+        spreads = [g.positions.std(axis=0).max() for g in traj.offset_groups(10)]
+        assert np.mean(spreads) > 100.0  # random walks scatter widely
+
+    def test_route_weights_respected(self):
+        a = Route(np.array([[0.0, 0.0], [0.0, 1.0]]), name="a")
+        b = Route(np.array([[1000.0, 0.0], [1000.0, 1.0]]), name="b")
+        gen = PeriodicTrajectoryGenerator(
+            [WeightedRoute(a, 9.0), WeightedRoute(b, 1.0)],
+            pattern_probability=1.0,
+            noise_sigma=0.1,
+        )
+        traj = gen.generate(200, 5, np.random.default_rng(3))
+        # Count sub-trajectories starting near each route (post-normalise,
+        # route a maps to low x, route b to high x).
+        starts = traj.positions[::5, 0]
+        frac_a = float((starts < starts.mean()).mean())
+        assert frac_a == pytest.approx(0.9, abs=0.07)
+
+    def test_deterministic_given_rng(self, straight_route):
+        gen = PeriodicTrajectoryGenerator([straight_route], 0.7, 2.0)
+        t1 = gen.generate(5, 10, np.random.default_rng(42))
+        t2 = gen.generate(5, 10, np.random.default_rng(42))
+        assert t1 == t2
+
+    def test_phase_jitter_smears_offsets(self, straight_route):
+        aligned = PeriodicTrajectoryGenerator([straight_route], 1.0, 0.5)
+        smeared = PeriodicTrajectoryGenerator(
+            [straight_route], 1.0, 0.5, phase_jitter=0.2
+        )
+        t_aligned = aligned.generate(30, 20, np.random.default_rng(4))
+        t_smeared = smeared.generate(30, 20, np.random.default_rng(4))
+
+        def mid_offset_spread(traj):
+            group = traj.offset_group(10, 20)
+            return group.positions.std(axis=0).max()
+
+        assert mid_offset_spread(t_smeared) > 3 * mid_offset_spread(t_aligned)

@@ -1,0 +1,102 @@
+"""Tests for noise models."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import gaussian_jitter, moving_average, random_walk
+from repro.datagen.noise import detour
+
+
+class TestGaussianJitter:
+    def test_zero_sigma_is_copy(self):
+        base = np.ones((5, 2))
+        out = gaussian_jitter(base, 0.0, np.random.default_rng(0))
+        assert np.array_equal(out, base)
+        assert out is not base
+
+    def test_jitter_scale(self):
+        rng = np.random.default_rng(1)
+        base = np.zeros((2000, 2))
+        out = gaussian_jitter(base, 3.0, rng)
+        assert out.std() == pytest.approx(3.0, rel=0.1)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_jitter(np.zeros((2, 2)), -1.0, np.random.default_rng(0))
+
+
+class TestRandomWalk:
+    def test_starts_at_start(self):
+        walk = random_walk((5.0, 7.0), 10, 1.0, np.random.default_rng(0))
+        assert walk.shape == (10, 2)
+        assert np.array_equal(walk[0], [5.0, 7.0])
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_walk((0, 0), 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            random_walk((0, 0), 5, -1.0, rng)
+        with pytest.raises(ValueError):
+            random_walk((0, 0), 5, 1.0, rng, momentum=1.0)
+
+    def test_zero_scale_stays_put(self):
+        walk = random_walk((1.0, 1.0), 8, 0.0, np.random.default_rng(0))
+        assert np.allclose(walk, [1.0, 1.0])
+
+    def test_momentum_smooths_heading(self):
+        """High momentum produces smaller turn angles on average."""
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        smooth = random_walk((0, 0), 500, 1.0, rng1, momentum=0.95)
+        rough = random_walk((0, 0), 500, 1.0, rng2, momentum=0.0)
+
+        def mean_turn(walk):
+            v = np.diff(walk, axis=0)
+            dots = (v[:-1] * v[1:]).sum(axis=1)
+            norms = np.linalg.norm(v[:-1], axis=1) * np.linalg.norm(v[1:], axis=1)
+            return np.arccos(np.clip(dots / np.maximum(norms, 1e-12), -1, 1)).mean()
+
+        assert mean_turn(smooth) < mean_turn(rough)
+
+
+class TestDetour:
+    def test_shape_and_anchoring(self):
+        base = np.column_stack([np.arange(50.0), np.zeros(50)])
+        out = detour(base, 10.0, np.random.default_rng(0))
+        assert out.shape == base.shape
+        # Bounded drift: never further than ~1.5 x amplitude from the base.
+        drift = np.linalg.norm(out - base, axis=1)
+        assert drift.max() <= 15.0 + 1e-9
+        assert drift.max() > 1.0  # actually deviates
+
+    def test_zero_amplitude_is_copy(self):
+        base = np.ones((10, 2))
+        out = detour(base, 0.0, np.random.default_rng(0))
+        assert np.array_equal(out, base)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            detour(np.zeros((5, 3)), 1.0, rng)
+        with pytest.raises(ValueError):
+            detour(np.zeros((5, 2)), -1.0, rng)
+
+
+class TestMovingAverage:
+    def test_window_one_is_copy(self):
+        base = np.random.default_rng(0).normal(0, 1, (10, 2))
+        assert np.array_equal(moving_average(base, 1), base)
+
+    def test_constant_preserved(self):
+        base = np.full((20, 2), 7.0)
+        assert np.allclose(moving_average(base, 5), 7.0)
+
+    def test_smooths_variance(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(0, 1, (500, 2))
+        smoothed = moving_average(base, 9)
+        assert smoothed.std() < base.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros((5, 2)), 0)

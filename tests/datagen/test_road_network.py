@@ -1,0 +1,66 @@
+"""Tests for the synthetic road network."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datagen import RoadNetwork
+
+
+@pytest.fixture(scope="module")
+def network():
+    return RoadNetwork(grid_size=6, extent=1000.0, rng=np.random.default_rng(0))
+
+
+class TestConstruction:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RoadNetwork(grid_size=1, rng=rng)
+        with pytest.raises(ValueError):
+            RoadNetwork(extent=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            RoadNetwork(removal_fraction=1.0, rng=rng)
+
+    def test_connected_after_removal(self):
+        net = RoadNetwork(
+            grid_size=8, removal_fraction=0.4, rng=np.random.default_rng(1)
+        )
+        assert nx.is_connected(net.graph)
+
+    def test_intersection_count(self, network):
+        assert network.num_intersections == 36
+
+    def test_edges_have_lengths(self, network):
+        for u, v in network.graph.edges:
+            assert network.graph.edges[u, v]["length"] > 0
+
+
+class TestRouting:
+    def test_nearest_node(self, network):
+        node = network.nearest_node(0.0, 0.0)
+        assert np.linalg.norm(network.coords[node]) < 300.0
+
+    def test_route_between_follows_graph(self, network):
+        route = network.route_between((0.0, 0.0), (1000.0, 1000.0))
+        assert route.waypoints.shape[0] >= 2
+        # Consecutive waypoints are adjacent intersections -> step length
+        # bounded by ~2 cell sizes.
+        steps = np.linalg.norm(np.diff(route.waypoints, axis=0), axis=1)
+        assert steps.max() < 2.5 * (1000.0 / 5)
+
+    def test_route_same_endpoints_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.route_between((0.0, 0.0), (1.0, 1.0))
+
+    def test_routes_have_turns(self, network):
+        """Grid shortest paths bend — the property that defeats RMF."""
+        route = network.route_between((0.0, 0.0), (1000.0, 1000.0))
+        v = np.diff(route.waypoints, axis=0)
+        # At least one pair of consecutive segments changes direction.
+        cross = np.abs(v[:-1, 0] * v[1:, 1] - v[:-1, 1] * v[1:, 0])
+        assert cross.max() > 1.0
+
+    def test_random_route(self, network):
+        route = network.random_route(np.random.default_rng(2))
+        assert route.waypoints.shape[0] >= 2

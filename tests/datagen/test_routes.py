@@ -1,0 +1,122 @@
+"""Tests for routes and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import Route, wiggly_route
+
+
+class TestRouteValidation:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            Route(np.zeros((1, 2)))
+
+    def test_dwell_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Route(np.zeros((2, 2)), dwell=(0.1,))
+
+    def test_dwell_sum_bound(self):
+        with pytest.raises(ValueError):
+            Route(np.zeros((2, 2)), dwell=(0.6, 0.5))
+
+    def test_negative_dwell(self):
+        with pytest.raises(ValueError):
+            Route(np.zeros((2, 2)), dwell=(-0.1, 0.0))
+
+
+class TestSampling:
+    def test_endpoints(self):
+        route = Route(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        pts = route.sample(11)
+        assert np.allclose(pts[0], [0, 0])
+        assert np.allclose(pts[-1], [10, 0])
+
+    def test_constant_speed_on_straight_line(self):
+        route = Route(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        pts = route.sample(11)
+        steps = np.diff(pts[:, 0])
+        assert np.allclose(steps, 1.0)
+
+    def test_arc_length_parameterisation(self):
+        """Unequal segments are covered at equal pace, not equal index share."""
+        route = Route(np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]]))
+        pts = route.sample(10)
+        steps = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        assert steps.std() < 0.1  # near-uniform speed across both segments
+
+    def test_dwell_holds_position(self):
+        route = Route(
+            np.array([[0.0, 0.0], [10.0, 0.0]]), dwell=(0.3, 0.0)
+        )
+        pts = route.sample(20)
+        # The first ~30% of samples stay at the start.
+        assert np.allclose(pts[:5], [0.0, 0.0])
+
+    def test_terminal_dwell(self):
+        route = Route(np.array([[0.0, 0.0], [10.0, 0.0]]), dwell=(0.0, 0.3))
+        pts = route.sample(20)
+        assert np.allclose(pts[-5:], [10.0, 0.0])
+
+    def test_length(self):
+        route = Route(np.array([[0.0, 0.0], [3.0, 4.0], [3.0, 10.0]]))
+        assert route.length == pytest.approx(11.0)
+
+    def test_degenerate_route_stays_put(self):
+        route = Route(np.array([[2.0, 2.0], [2.0, 2.0]]))
+        assert np.allclose(route.sample(5), [2.0, 2.0])
+
+    def test_sample_validation(self):
+        route = Route(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            route.sample(1)
+
+
+class TestPhase:
+    def test_positive_phase_starts_late(self):
+        route = Route(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        shifted = route.sample(11, phase=0.3)
+        # First 30% of the day the object is still at the start, and the
+        # day ends mid-route (the journey ran out of period).
+        assert np.allclose(shifted[:3], [0.0, 0.0])
+        assert np.allclose(shifted[-1], [7.0, 0.0])
+
+    def test_negative_phase_finishes_early(self):
+        route = Route(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        shifted = route.sample(11, phase=-0.3)
+        assert np.allclose(shifted[-3:], [10.0, 0.0])
+
+    def test_sample_at_validation(self):
+        route = Route(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            route.sample_at(np.array([1.5]))
+        with pytest.raises(ValueError):
+            route.sample_at(np.array([]))
+
+
+class TestReversedAndWiggly:
+    def test_reversed(self):
+        route = Route(np.array([[0.0, 0.0], [10.0, 0.0]]), dwell=(0.2, 0.1))
+        back = route.reversed()
+        assert np.allclose(back.waypoints[0], [10.0, 0.0])
+        assert back.dwell == (0.1, 0.2)
+
+    def test_wiggly_route_endpoints_fixed(self):
+        rng = np.random.default_rng(0)
+        route = wiggly_route((0, 0), (100, 0), 8, wiggle=10.0, rng=rng)
+        assert np.allclose(route.waypoints[0], [0, 0])
+        assert np.allclose(route.waypoints[-1], [100, 0])
+        assert route.waypoints.shape == (8, 2)
+
+    def test_wiggly_route_deviates_laterally(self):
+        rng = np.random.default_rng(1)
+        route = wiggly_route((0, 0), (100, 0), 10, wiggle=10.0, rng=rng)
+        assert np.abs(route.waypoints[1:-1, 1]).max() > 1.0
+
+    def test_wiggly_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            wiggly_route((0, 0), (0, 0), 5, 1.0, rng)
+        with pytest.raises(ValueError):
+            wiggly_route((0, 0), (1, 1), 1, 1.0, rng)
+        with pytest.raises(ValueError):
+            wiggly_route((0, 0), (1, 1), 5, -1.0, rng)

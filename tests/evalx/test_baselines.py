@@ -1,0 +1,82 @@
+"""Tests for the extra prediction baselines."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import LastPositionPredictor, PeriodicMeanPredictor, evaluate_baseline
+from repro.evalx.workloads import PredictiveQuery
+from repro.trajectory import Point, TimedPoint, Trajectory
+
+
+def periodic_history(period=10, subs=8, seed=0, sigma=0.5):
+    rng = np.random.default_rng(seed)
+    base = np.column_stack([10.0 * np.arange(period), np.zeros(period)])
+    blocks = [base + rng.normal(0, sigma, base.shape) for _ in range(subs)]
+    return Trajectory(np.vstack(blocks)), base
+
+
+class TestPeriodicMean:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicMeanPredictor(0)
+        pred = PeriodicMeanPredictor(10)
+        with pytest.raises(RuntimeError):
+            pred.predict([], 5)
+        with pytest.raises(ValueError):
+            pred.fit(Trajectory(np.zeros((5, 2))))
+
+    def test_predicts_offset_mean(self):
+        history, base = periodic_history()
+        pred = PeriodicMeanPredictor(10).fit(history)
+        for offset in range(10):
+            p = pred.predict([], 1000 + offset)
+            assert abs(p.x - base[(1000 + offset) % 10][0]) < 1.0
+
+    def test_recent_is_ignored(self):
+        history, _ = periodic_history()
+        pred = PeriodicMeanPredictor(10).fit(history)
+        a = pred.predict([], 23)
+        b = pred.predict([TimedPoint(20, 999.0, 999.0)], 23)
+        assert a == b
+
+    def test_partial_last_period_ok(self):
+        history, _ = periodic_history()
+        longer = Trajectory(
+            np.vstack([history.positions, history.positions[:3]])
+        )
+        pred = PeriodicMeanPredictor(10).fit(longer)
+        assert pred.is_fitted
+
+    def test_unobserved_offsets_borrow_neighbors(self):
+        # Period 10 but only 7 samples: offsets 7-9 unobserved.
+        traj = Trajectory(np.column_stack([np.arange(12.0), np.zeros(12)]))
+        pred = PeriodicMeanPredictor(10).fit(traj)
+        p = pred.predict([], 8)
+        assert np.isfinite(p.x)
+
+
+class TestLastPosition:
+    def test_returns_last(self):
+        pred = LastPositionPredictor()
+        recent = [TimedPoint(0, 1.0, 1.0), TimedPoint(1, 2.0, 3.0)]
+        assert pred.predict(recent, 100) == Point(2.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LastPositionPredictor().predict([], 5)
+
+
+class TestEvaluateBaseline:
+    def test_evaluates_over_queries(self):
+        history, base = periodic_history()
+        pred = PeriodicMeanPredictor(10).fit(history)
+        queries = [
+            PredictiveQuery(
+                recent=(TimedPoint(100, 0.0, 0.0),),
+                query_time=103,
+                truth=Point(base[3][0], base[3][1]),
+            )
+        ]
+        result = evaluate_baseline(pred, queries, "periodic_mean")
+        assert result.predictor == "periodic_mean"
+        assert result.mean_error < 1.0

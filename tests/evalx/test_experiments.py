@@ -1,0 +1,138 @@
+"""Tests for the experiment runners (small-scale smoke + contract checks)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_dataset
+from repro.evalx import (
+    ExperimentScale,
+    run_confidence,
+    run_eps,
+    run_minpts,
+    run_prediction_length,
+    run_pruning_ablation,
+    run_query_time,
+    run_subtrajectories,
+    run_tpt_scaling,
+    run_weight_functions,
+    synthesize_patterns,
+    synthesize_regions,
+)
+from repro.evalx.reporting import format_series, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        dataset_subtrajectories=16,
+        training_subtrajectories=10,
+        num_queries=5,
+        period=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_bike(tiny_scale):
+    return make_dataset("bike", tiny_scale.dataset_subtrajectories, tiny_scale.period)
+
+
+class TestScale:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(dataset_subtrajectories=5, training_subtrajectories=5)
+
+
+class TestRunners:
+    def test_prediction_length_rows(self, tiny_bike, tiny_scale):
+        rows = run_prediction_length(tiny_bike, [5, 20], tiny_scale)
+        assert [r["prediction_length"] for r in rows] == [5, 20]
+        for row in rows:
+            assert row["hpm_error"] >= 0
+            assert row["rmf_error"] >= 0
+            assert sum(row["hpm_methods"].values()) == tiny_scale.num_queries
+
+    def test_subtrajectories_rows(self, tiny_bike, tiny_scale):
+        rows = run_subtrajectories(
+            tiny_bike, [6, 10], tiny_scale, prediction_length=10
+        )
+        assert [r["num_subtrajectories"] for r in rows] == [6, 10]
+        assert all(r["num_patterns"] >= 0 for r in rows)
+
+    def test_eps_rows_pattern_monotonicity(self, tiny_bike, tiny_scale):
+        """More Eps -> at least as many frequent regions -> typically more
+        patterns (paper Fig. 7a's growth)."""
+        rows = run_eps(tiny_bike, [10.0, 40.0], tiny_scale, prediction_length=10)
+        assert rows[0]["num_patterns"] <= rows[1]["num_patterns"]
+
+    def test_minpts_rows_pattern_monotonicity(self, tiny_bike, tiny_scale):
+        rows = run_minpts(tiny_bike, [3, 8], tiny_scale, prediction_length=10)
+        assert rows[0]["num_patterns"] >= rows[1]["num_patterns"]
+
+    def test_confidence_rows_decreasing_patterns(self, tiny_bike, tiny_scale):
+        rows = run_confidence(
+            tiny_bike, [0.0, 0.5, 0.99], tiny_scale, prediction_length=10
+        )
+        counts = [r["num_patterns"] for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_query_time_rows(self, tiny_bike, tiny_scale):
+        rows = run_query_time(
+            tiny_bike, [10], tiny_scale, prediction_length=10, num_queries=5
+        )
+        assert rows[0]["hpm_ms"] > 0
+        assert rows[0]["rmf_ms"] > 0
+
+    def test_pruning_ablation(self, tiny_bike, tiny_scale):
+        row = run_pruning_ablation(tiny_bike, tiny_scale)
+        assert row["unpruned_rules"] >= row["pruned_patterns"]
+        assert 0.0 <= row["reduction_pct"] <= 100.0
+
+    def test_weight_functions(self, tiny_bike, tiny_scale):
+        rows = run_weight_functions(tiny_bike, tiny_scale, prediction_length=10)
+        assert [r["weight_function"] for r in rows] == [
+            "linear",
+            "quadratic",
+            "exponential",
+            "factorial",
+        ]
+
+
+class TestTPTScaling:
+    def test_synthesize_regions(self):
+        regions = synthesize_regions(40, period=100, rng=np.random.default_rng(0))
+        assert len(regions) == 40
+        offsets = {r.offset for r in regions}
+        assert len(offsets) > 20  # spread over the period
+
+    def test_synthesize_patterns_valid(self):
+        rng = np.random.default_rng(1)
+        regions = synthesize_regions(30, 100, rng)
+        patterns = synthesize_patterns(regions, 200, rng)
+        assert len(patterns) == 200
+        for p in patterns:
+            assert p.premise_offsets[-1] < p.consequence_offset
+            assert 0.3 <= p.confidence <= 1.0
+
+    def test_run_tpt_scaling_rows(self):
+        rows = run_tpt_scaling([200, 400], [30], period=60, num_queries=20)
+        assert len(rows) == 2
+        small, large = rows
+        assert large["storage_mb"] > small["storage_mb"]
+        assert large["tpt_ms"] >= 0
+        assert large["brute_ms"] >= 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "value"], [[1, 2.345], [10, 20.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.3" in lines[2]
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series_has_title(self):
+        out = format_series("Fig. 5", ["x"], [[1]])
+        assert "Fig. 5" in out

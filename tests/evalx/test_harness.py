@@ -1,0 +1,95 @@
+"""Tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import (
+    evaluate_hpm,
+    evaluate_linear,
+    evaluate_motion_function,
+    evaluate_rmf,
+    generate_queries,
+)
+from repro.core import HPMConfig, HybridPredictionModel
+from repro.motion import LinearMotionFunction
+from repro.trajectory import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A tiny but patterned dataset with a fitted model and a workload."""
+    rng = np.random.default_rng(0)
+    period = 20
+    base = np.column_stack(
+        [50.0 * np.arange(period), 25.0 * np.arange(period)]
+    )
+    blocks = [base + rng.normal(0, 1.0, base.shape) for _ in range(20)]
+    dataset = TrajectoryDataset(
+        "line", Trajectory(np.vstack(blocks)), period=period
+    )
+    config = HPMConfig(
+        period=period, eps=6.0, min_pts=4, distant_threshold=8, recent_window=4
+    )
+    model = HybridPredictionModel(config).fit(dataset.training_split(15))
+    workload = generate_queries(
+        dataset, 5, 15, 15, recent_window=4, rng=np.random.default_rng(1)
+    )
+    return model, workload
+
+
+class TestEvaluateHPM:
+    def test_result_fields(self, small_world):
+        model, workload = small_world
+        result = evaluate_hpm(model, workload)
+        assert result.predictor == "hpm"
+        assert len(result.errors) == len(workload)
+        assert result.mean_error == pytest.approx(
+            sum(result.errors) / len(result.errors)
+        )
+        assert result.mean_query_ms >= 0
+        assert sum(result.method_counts.values()) == len(workload)
+
+    def test_patterned_data_yields_low_error(self, small_world):
+        model, workload = small_world
+        result = evaluate_hpm(model, workload)
+        assert result.mean_error < 50.0
+
+    def test_accepts_raw_query_list(self, small_world):
+        model, workload = small_world
+        result = evaluate_hpm(model, list(workload.queries)[:3])
+        assert len(result.errors) == 3
+
+
+class TestEvaluateMotion:
+    def test_rmf_on_linear_data_is_accurate(self, small_world):
+        _, workload = small_world
+        result = evaluate_rmf(workload)
+        assert result.predictor == "rmf"
+        assert result.mean_error < 60.0  # linear motion is RMF's easy case
+
+    def test_linear_baseline(self, small_world):
+        _, workload = small_world
+        result = evaluate_linear(workload)
+        assert result.predictor == "linear"
+        assert result.mean_error < 60.0
+
+    def test_short_window_falls_back_to_linear(self, small_world):
+        """RMF needs retrospect+2 samples; the harness degrades gracefully."""
+        _, workload = small_world
+        queries = [
+            type(q)(recent=q.recent[-2:], query_time=q.query_time, truth=q.truth)
+            for q in workload.queries[:5]
+        ]
+        result = evaluate_rmf(queries)
+        assert len(result.errors) == 5
+
+    def test_custom_factory_name(self, small_world):
+        _, workload = small_world
+        result = evaluate_motion_function(
+            LinearMotionFunction, workload, name="mine"
+        )
+        assert result.predictor == "mine"
+
+    def test_str(self, small_world):
+        _, workload = small_world
+        assert "mean_error" in str(evaluate_linear(workload))

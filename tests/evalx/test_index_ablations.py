@@ -1,0 +1,42 @@
+"""Tests for the index-design ablation runners."""
+
+import pytest
+
+from repro.evalx import run_chooseleaf_ablation, run_fanout_ablation
+from repro.signature import SignatureTree
+
+
+class TestSearchStats:
+    def test_counts_nodes_and_matches_search(self):
+        tree = SignatureTree(max_entries=4)
+        for i in range(100):
+            tree.insert(1 << (i % 12), i)
+        predicate = lambda sig: sig & 0b1 != 0  # noqa: E731
+        hits, visited = tree.search_stats(predicate)
+        assert sorted(e.payload for e in hits) == sorted(
+            e.payload for e in tree.search(predicate)
+        )
+        assert visited >= 1
+        stats = tree.stats()
+        assert visited <= stats.node_count
+
+
+class TestChooseLeafAblation:
+    def test_policies_agree_on_results(self):
+        row = run_chooseleaf_ablation(
+            num_patterns=1500, num_regions=80, num_queries=30
+        )
+        assert row["algorithm1_hits"] == row["generic_hits"]
+        assert row["algorithm1_nodes_per_query"] > 0
+        assert row["generic_nodes_per_query"] > 0
+
+
+class TestFanoutAblation:
+    def test_height_decreases_with_fanout(self):
+        rows = run_fanout_ablation(
+            [8, 64], num_patterns=1500, num_regions=80, num_queries=20
+        )
+        assert rows[0]["height"] >= rows[1]["height"]
+        for r in rows:
+            assert r["build_s"] > 0
+            assert r["storage_mb"] > 0

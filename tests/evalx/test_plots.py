@@ -1,0 +1,57 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.evalx.plots import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            "demo", [0, 1, 2], {"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]}
+        )
+        assert "demo" in out
+        assert "o a" in out and "x b" in out
+        assert "o" in out and "x" in out
+
+    def test_extremes_on_border_rows(self):
+        out = ascii_chart("t", [0, 1], {"s": [0.0, 10.0]})
+        lines = out.splitlines()
+        plot_rows = [l for l in lines if "|" in l]
+        assert "o" in plot_rows[0]  # max on top row
+        assert "o" in plot_rows[-1]  # min on bottom row
+
+    def test_axis_labels(self):
+        out = ascii_chart("t", [5, 50], {"s": [1.0, 100.0]})
+        assert "100" in out
+        assert "1" in out
+        assert "50" in out
+
+    def test_log_scale(self):
+        out = ascii_chart("t", [0, 1, 2], {"s": [1.0, 100.0, 10000.0]}, log_y=True)
+        assert "(log y)" in out
+        lines = [l for l in out.splitlines() if "|" in l]
+        # In log space the midpoint lands mid-chart.
+        mid_rows = lines[len(lines) // 3 : 2 * len(lines) // 3 + 1]
+        assert any("o" in l for l in mid_rows)
+
+    def test_constant_series_ok(self):
+        out = ascii_chart("t", [0, 1], {"s": [5.0, 5.0]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart("t", [0, 1], {})
+        with pytest.raises(ValueError):
+            ascii_chart("t", [0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart("t", [1, 0], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            ascii_chart("t", [0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart("t", [0, 1], {"s": [1.0, 2.0]}, width=5)
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(10)}
+        out = ascii_chart("t", [0, 1], series)
+        assert "s9" in out

@@ -1,0 +1,29 @@
+"""Additional reporting-format tests."""
+
+from repro.evalx.reporting import format_series, format_table
+
+
+class TestFormatting:
+    def test_floats_one_decimal(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.1" in out
+        assert "3.14" not in out
+
+    def test_bools_rendered_as_words(self):
+        out = format_table(["flag"], [[True], [False]])
+        assert "True" in out and "False" in out
+
+    def test_right_alignment(self):
+        out = format_table(["n"], [[1], [100]])
+        lines = out.splitlines()
+        assert lines[2].endswith("  1") or lines[2].strip() == "1"
+        assert lines[3].strip() == "100"
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_series_bar_length(self):
+        out = format_series("T", ["a"], [[1]])
+        lines = [l for l in out.splitlines() if l]
+        assert set(lines[1]) == {"="}

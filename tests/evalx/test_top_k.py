@@ -1,0 +1,38 @@
+"""Tests for the top-k accuracy runner."""
+
+import pytest
+
+from repro.datagen import make_dataset
+from repro.evalx import ExperimentScale, run_top_k
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    scale = ExperimentScale(
+        dataset_subtrajectories=16,
+        training_subtrajectories=10,
+        num_queries=6,
+        period=60,
+    )
+    return make_dataset("cow", 16, 60), scale
+
+
+class TestRunTopK:
+    def test_monotone_in_k(self, tiny):
+        dataset, scale = tiny
+        rows = run_top_k(dataset, [1, 3, 5], scale, prediction_length=20)
+        errors = [r["error_at_k"] for r in rows]
+        assert [r["k"] for r in rows] == [1, 3, 5]
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_sorts_unordered_ks(self, tiny):
+        dataset, scale = tiny
+        rows = run_top_k(dataset, [5, 1], scale, prediction_length=20)
+        assert [r["k"] for r in rows] == [1, 5]
+
+    def test_validation(self, tiny):
+        dataset, scale = tiny
+        with pytest.raises(ValueError):
+            run_top_k(dataset, [], scale)
+        with pytest.raises(ValueError):
+            run_top_k(dataset, [0], scale)

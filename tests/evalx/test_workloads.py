@@ -1,0 +1,93 @@
+"""Tests for query-workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.evalx import generate_queries
+from repro.evalx.workloads import PredictiveQuery
+from repro.trajectory import Point, TimedPoint, Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    return TrajectoryDataset(
+        name="toy",
+        trajectory=Trajectory(rng.uniform(0, 100, (500, 2))),
+        period=50,
+    )
+
+
+class TestPredictiveQuery:
+    def test_validation(self):
+        recent = (TimedPoint(5, 0.0, 0.0),)
+        with pytest.raises(ValueError):
+            PredictiveQuery(recent=(), query_time=10, truth=Point(0, 0))
+        with pytest.raises(ValueError):
+            PredictiveQuery(recent=recent, query_time=5, truth=Point(0, 0))
+
+    def test_derived_fields(self):
+        q = PredictiveQuery(
+            recent=(TimedPoint(5, 0.0, 0.0), TimedPoint(6, 1.0, 0.0)),
+            query_time=16,
+            truth=Point(0, 0),
+        )
+        assert q.current_time == 6
+        assert q.prediction_length == 10
+
+
+class TestGeneration:
+    def test_workload_shape(self, dataset):
+        wl = generate_queries(
+            dataset, prediction_length=10, num_queries=25,
+            num_training_subtrajectories=6, recent_window=5,
+            rng=np.random.default_rng(1),
+        )
+        assert len(wl) == 25
+        assert wl.dataset_name == "toy"
+        assert wl.prediction_length == 10
+
+    def test_queries_respect_protocol(self, dataset):
+        wl = generate_queries(
+            dataset, 10, 30, 6, recent_window=5, rng=np.random.default_rng(2)
+        )
+        for q in wl.queries:
+            # Recent window is contiguous and ends at tc.
+            times = [p.t for p in q.recent]
+            assert times == list(range(times[0], times[0] + 5))
+            assert q.prediction_length == 10
+            # Queries come from held-out data (after 6 training periods).
+            assert times[0] >= 6 * 50
+            # tq stays within the same period as tc (Definition 2: tq < T).
+            assert q.query_time // 50 == q.current_time // 50
+
+    def test_truth_matches_trajectory(self, dataset):
+        wl = generate_queries(
+            dataset, 7, 10, 6, recent_window=3, rng=np.random.default_rng(3)
+        )
+        for q in wl.queries:
+            assert q.truth == dataset.trajectory.at(q.query_time)
+            for p in q.recent:
+                assert p.point == dataset.trajectory.at(p.t)
+
+    def test_deterministic_with_seed(self, dataset):
+        a = generate_queries(dataset, 10, 5, 6, rng=np.random.default_rng(7))
+        b = generate_queries(dataset, 10, 5, 6, rng=np.random.default_rng(7))
+        assert a == b
+
+    def test_validation(self, dataset):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_queries(dataset, 0, 5, 6, rng=rng)
+        with pytest.raises(ValueError):
+            generate_queries(dataset, 10, 0, 6, rng=rng)
+        with pytest.raises(ValueError):
+            generate_queries(dataset, 10, 5, 6, recent_window=1, rng=rng)
+
+    def test_too_long_prediction_rejected(self, dataset):
+        with pytest.raises(ValueError, match="does not fit"):
+            generate_queries(dataset, 48, 5, 6, recent_window=5)
+
+    def test_no_heldout_data_rejected(self, dataset):
+        with pytest.raises(ValueError, match="held-out"):
+            generate_queries(dataset, 10, 5, 10)

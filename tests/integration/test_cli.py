@@ -1,0 +1,124 @@
+"""End-to-end CLI tests: synth -> mine -> predict -> evaluate."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import load_model
+from repro.trajectory.io import load_trajectory
+
+
+@pytest.fixture(scope="module")
+def data_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "bike.csv"
+    code = main(
+        [
+            "synth",
+            "bike",
+            "-o",
+            str(path),
+            "--subtrajectories",
+            "20",
+            "--period",
+            "60",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_npz(data_csv, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    code = main(
+        [
+            "mine",
+            str(data_csv),
+            "-o",
+            str(path),
+            "--period",
+            "60",
+            "--eps",
+            "30",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestSynth:
+    def test_writes_loadable_csv(self, data_csv):
+        trajectory = load_trajectory(data_csv)
+        assert len(trajectory) == 20 * 60
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        for out in (a, b):
+            main(["synth", "cow", "-o", str(out), "--subtrajectories", "4",
+                  "--period", "30", "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["synth", "submarine", "-o", str(tmp_path / "x.csv")])
+
+
+class TestMine:
+    def test_model_loadable(self, model_npz):
+        model = load_model(model_npz)
+        assert model.pattern_count > 0
+        assert model.config.period == 60
+
+
+class TestPredict:
+    def test_predicts_from_saved_model(self, model_npz, data_csv, capsys):
+        trajectory = load_trajectory(data_csv)
+        t0 = 18 * 60  # a held-out-ish day
+        recent = ",".join(
+            f"{t0 + i}:{trajectory.positions[t0 + i][0]:.1f}"
+            f":{trajectory.positions[t0 + i][1]:.1f}"
+            for i in range(4)
+        )
+        code = main(
+            [
+                "predict",
+                str(model_npz),
+                "--recent",
+                recent,
+                "--time",
+                str(t0 + 8),
+                "-k",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("#1 (")
+        assert "method=" in out
+
+    def test_bad_recent_spec(self, model_npz):
+        with pytest.raises(SystemExit, match="t:x:y"):
+            main(["predict", str(model_npz), "--recent", "1:2", "--time", "99"])
+
+
+class TestEvaluate:
+    def test_reports_comparison(self, data_csv, capsys):
+        code = main(
+            [
+                "evaluate",
+                str(data_csv),
+                "--period",
+                "60",
+                "--training",
+                "15",
+                "--length",
+                "10",
+                "--queries",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HPM: mean error" in out
+        assert "RMF: mean error" in out

@@ -1,0 +1,42 @@
+"""Smoke tests: the fast examples must run and print their headline facts.
+
+The heavier scenario examples (commuter, wildlife, streaming, fleet) are
+exercised implicitly by the integration/benchmark suites; the two quick
+ones run here end-to-end.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_predicts(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "trajectory patterns" in out
+        assert "near-future query" in out
+        assert "distant-time query" in out
+        # Both queries must be answered by patterns on this clean data.
+        assert "via FQP" in out
+        assert "via BQP" in out
+
+
+class TestPaperWalkthrough:
+    def test_reproduces_tables_and_scores(self, capsys):
+        out = run_example("paper_walkthrough.py", capsys)
+        # Table III keys, verbatim.
+        assert "0100001" in out
+        assert "1000011" in out
+        assert "1000101" in out
+        # The §VI-B ranking.
+        assert "S_p = 0.500" in out
+        assert "S_p = 0.133" in out

@@ -1,0 +1,48 @@
+"""Tests for the motion-function base utilities."""
+
+import pytest
+
+from repro.motion import MotionFunction, validate_recent_movements
+from repro.trajectory import TimedPoint
+
+
+class TestValidateRecentMovements:
+    def test_accepts_strictly_increasing(self):
+        pts = [TimedPoint(1, 0, 0), TimedPoint(3, 1, 1), TimedPoint(4, 2, 2)]
+        out = validate_recent_movements(pts, minimum=2)
+        assert out == pts
+        assert isinstance(out, list)
+
+    def test_accepts_generators(self):
+        out = validate_recent_movements(
+            (TimedPoint(i, 0, 0) for i in range(3)), minimum=3
+        )
+        assert len(out) == 3
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            validate_recent_movements([TimedPoint(0, 0, 0)], minimum=3)
+
+    def test_rejects_equal_times(self):
+        pts = [TimedPoint(1, 0, 0), TimedPoint(1, 1, 1)]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_recent_movements(pts, minimum=2)
+
+    def test_rejects_decreasing_times(self):
+        pts = [TimedPoint(2, 0, 0), TimedPoint(1, 1, 1)]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            validate_recent_movements(pts, minimum=2)
+
+
+class TestMotionFunctionProtocol:
+    def test_is_abstract(self):
+        with pytest.raises(TypeError):
+            MotionFunction()  # type: ignore[abstract]
+
+    def test_concrete_subclass_must_implement_everything(self):
+        class Partial(MotionFunction):
+            def fit(self, recent):
+                return self
+
+        with pytest.raises(TypeError):
+            Partial()  # type: ignore[abstract]

@@ -1,0 +1,87 @@
+"""Tests for the linear motion function."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.motion import LinearMotionFunction
+from repro.trajectory import Point, TimedPoint
+
+
+def line_samples(n, vx, vy, x0=0.0, y0=0.0, t0=0):
+    return [TimedPoint(t0 + i, x0 + vx * i, y0 + vy * i) for i in range(n)]
+
+
+class TestLinearMotion:
+    def test_unfitted_raises(self):
+        f = LinearMotionFunction()
+        assert not f.is_fitted
+        with pytest.raises(RuntimeError):
+            f.predict(5)
+        with pytest.raises(RuntimeError):
+            f.velocity
+
+    def test_bad_estimator_name(self):
+        with pytest.raises(ValueError):
+            LinearMotionFunction(velocity_estimator="magic")
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            LinearMotionFunction().fit([TimedPoint(0, 0.0, 0.0)])
+
+    def test_rejects_non_increasing_times(self):
+        pts = [TimedPoint(0, 0, 0), TimedPoint(0, 1, 1)]
+        with pytest.raises(ValueError):
+            LinearMotionFunction().fit(pts)
+
+    def test_exact_on_linear_motion_last(self):
+        f = LinearMotionFunction("last").fit(line_samples(5, 2.0, -1.0))
+        p = f.predict(10)
+        assert p.x == pytest.approx(20.0)
+        assert p.y == pytest.approx(-10.0)
+
+    def test_exact_on_linear_motion_least_squares(self):
+        f = LinearMotionFunction("least_squares").fit(line_samples(5, 2.0, -1.0))
+        p = f.predict(10)
+        assert p.x == pytest.approx(20.0)
+        assert p.y == pytest.approx(-10.0)
+
+    def test_velocity_property(self):
+        f = LinearMotionFunction().fit(line_samples(3, 1.5, 0.5))
+        assert f.velocity == Point(1.5, 0.5)
+
+    def test_least_squares_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        base = line_samples(20, 3.0, 0.0)
+        noisy = [
+            TimedPoint(p.t, p.x + rng.normal(0, 0.5), p.y + rng.normal(0, 0.5))
+            for p in base
+        ]
+        ls = LinearMotionFunction("least_squares").fit(noisy)
+        assert ls.velocity.x == pytest.approx(3.0, abs=0.2)
+
+    def test_stationary_object(self):
+        pts = [TimedPoint(i, 5.0, 5.0) for i in range(4)]
+        f = LinearMotionFunction().fit(pts)
+        assert f.predict(100) == Point(5.0, 5.0)
+
+    def test_gap_in_timestamps(self):
+        pts = [TimedPoint(0, 0.0, 0.0), TimedPoint(4, 8.0, 0.0)]
+        f = LinearMotionFunction().fit(pts)
+        assert f.predict(5).x == pytest.approx(10.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(-50, 50, allow_nan=False),
+        st.floats(-50, 50, allow_nan=False),
+        st.integers(3, 15),
+        st.integers(1, 50),
+    )
+    def test_recovers_any_linear_motion(self, vx, vy, n, horizon):
+        samples = line_samples(n, vx, vy, x0=7.0, y0=-3.0)
+        f = LinearMotionFunction().fit(samples)
+        t = samples[-1].t + horizon
+        expected = Point(7.0 + vx * t, -3.0 + vy * t)
+        got = f.predict(t)
+        assert got.distance_to(expected) < 1e-6 * max(1.0, abs(vx) + abs(vy)) * t + 1e-6

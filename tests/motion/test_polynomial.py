@@ -1,0 +1,75 @@
+"""Tests for the polynomial motion model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.motion import LinearMotionFunction, PolynomialMotionFunction
+from repro.trajectory import Point, TimedPoint
+
+
+def samples_from(fn, n, t0=0):
+    return [TimedPoint(t0 + i, *fn(t0 + i)) for i in range(n)]
+
+
+class TestValidation:
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialMotionFunction(degree=0)
+
+    def test_unfitted(self):
+        f = PolynomialMotionFunction()
+        assert not f.is_fitted
+        with pytest.raises(RuntimeError):
+            f.predict(5)
+
+    def test_needs_degree_plus_one_samples(self):
+        f = PolynomialMotionFunction(degree=3)
+        with pytest.raises(ValueError):
+            f.fit(samples_from(lambda t: (t, t), 3))
+        f.fit(samples_from(lambda t: (t, t), 4))
+        assert f.is_fitted
+
+
+class TestAccuracy:
+    def test_exact_on_linear(self):
+        f = PolynomialMotionFunction(degree=2).fit(
+            samples_from(lambda t: (3.0 * t, -t), 10)
+        )
+        p = f.predict(20)
+        assert p.x == pytest.approx(60.0, rel=1e-9)
+        assert p.y == pytest.approx(-20.0, rel=1e-9)
+
+    def test_exact_on_quadratic(self):
+        f = PolynomialMotionFunction(degree=2).fit(
+            samples_from(lambda t: (0.5 * t * t, 2.0 * t), 10)
+        )
+        p = f.predict(14)
+        assert p.x == pytest.approx(0.5 * 14 * 14, rel=1e-9)
+
+    def test_beats_linear_on_accelerating_object(self):
+        pts = samples_from(lambda t: (0.3 * t * t, 0.0), 12)
+        poly = PolynomialMotionFunction(degree=2).fit(pts)
+        lin = LinearMotionFunction().fit(pts)
+        truth = Point(0.3 * 18 * 18, 0.0)
+        assert poly.predict(18).distance_to(truth) < lin.predict(18).distance_to(truth)
+
+    def test_large_timestamps_conditioned(self):
+        """Time centering keeps the Vandermonde system well-conditioned."""
+        t0 = 10_000_000
+        f = PolynomialMotionFunction(degree=2).fit(
+            samples_from(lambda t: (2.0 * (t - t0), 5.0), 10, t0=t0)
+        )
+        assert f.predict(t0 + 20).x == pytest.approx(40.0, rel=1e-6)
+
+    def test_divergence_at_distant_times(self):
+        """The failure mode HPM fixes: polynomials diverge with horizon."""
+        rng = np.random.default_rng(0)
+        pts = [
+            TimedPoint(i, float(i + rng.normal(0, 0.3)), 0.0) for i in range(10)
+        ]
+        f = PolynomialMotionFunction(degree=3).fit(pts)
+        near = abs(f.predict(12).x - 12.0)
+        far = abs(f.predict(200).x - 200.0)
+        assert far > near

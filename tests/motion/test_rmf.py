@@ -1,0 +1,155 @@
+"""Tests for the Recursive Motion Function."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.motion import RecursiveMotionFunction
+from repro.trajectory import Point, TimedPoint
+
+
+def samples_from(fn, n, t0=0):
+    return [TimedPoint(t0 + i, *fn(t0 + i)) for i in range(n)]
+
+
+class TestFitValidation:
+    def test_unfitted_raises(self):
+        f = RecursiveMotionFunction()
+        assert not f.is_fitted
+        with pytest.raises(RuntimeError):
+            f.predict(10)
+        with pytest.raises(RuntimeError):
+            f.coefficient_matrices()
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RecursiveMotionFunction(retrospect=0)
+        with pytest.raises(ValueError):
+            RecursiveMotionFunction(max_step_factor=0.0)
+
+    def test_needs_retrospect_plus_two(self):
+        f = RecursiveMotionFunction(retrospect=5)
+        with pytest.raises(ValueError):
+            f.fit(samples_from(lambda t: (t, t), 6))
+        f.fit(samples_from(lambda t: (t, t), 7))
+        assert f.is_fitted
+
+    def test_rejects_past_query(self):
+        f = RecursiveMotionFunction(retrospect=2).fit(
+            samples_from(lambda t: (t, 0.0), 10)
+        )
+        with pytest.raises(ValueError):
+            f.predict(9)  # last fit time
+        with pytest.raises(ValueError):
+            f.predict(0)
+
+
+class TestAccuracy:
+    def test_exact_on_linear_motion(self):
+        f = RecursiveMotionFunction(retrospect=3).fit(
+            samples_from(lambda t: (2.0 * t, -t), 12)
+        )
+        p = f.predict(20)
+        assert p.x == pytest.approx(40.0, rel=1e-6)
+        assert p.y == pytest.approx(-20.0, rel=1e-6)
+
+    def test_captures_circular_motion(self):
+        """RMF's recurrence reproduces sinusoids exactly (its headline feature)."""
+
+        def circle(t):
+            return (100.0 * math.cos(0.1 * t), 100.0 * math.sin(0.1 * t))
+
+        f = RecursiveMotionFunction(retrospect=4, max_step_factor=None).fit(
+            samples_from(circle, 40)
+        )
+        truth = Point(*circle(50))
+        assert f.predict(50).distance_to(truth) < 1.0
+
+    def test_beats_linear_on_turning_object(self):
+        """A turning object defeats linear extrapolation but not RMF."""
+        from repro.motion import LinearMotionFunction
+
+        def curve(t):
+            return (50.0 * math.cos(0.05 * t), 50.0 * math.sin(0.05 * t))
+
+        pts = samples_from(curve, 30)
+        rmf = RecursiveMotionFunction(retrospect=4, max_step_factor=None).fit(pts)
+        lin = LinearMotionFunction().fit(pts)
+        truth = Point(*curve(45))
+        assert rmf.predict(45).distance_to(truth) < lin.predict(45).distance_to(truth)
+
+    def test_stationary_object(self):
+        f = RecursiveMotionFunction(retrospect=2).fit(
+            [TimedPoint(i, 3.0, 4.0) for i in range(8)]
+        )
+        assert f.predict(100).distance_to(Point(3.0, 4.0)) < 1e-6
+
+
+class TestStability:
+    def test_step_clamp_bounds_speed(self):
+        rng = np.random.default_rng(0)
+        pts = [
+            TimedPoint(i, float(i + rng.normal(0, 0.5)), float(rng.normal(0, 0.5)))
+            for i in range(10)
+        ]
+        f = RecursiveMotionFunction(retrospect=5, max_step_factor=2.0).fit(pts)
+        max_step = max(
+            math.hypot(b.x - a.x, b.y - a.y) for a, b in zip(pts, pts[1:])
+        )
+        prev = f.predict(10)
+        for t in range(11, 60):
+            cur = f.predict(t)
+            assert cur.distance_to(prev) <= 2.0 * max_step + 1e-9
+            prev = cur
+
+    def test_unclamped_can_diverge_faster(self):
+        """The clamp exists because the raw recurrence can accelerate."""
+        rng = np.random.default_rng(3)
+        pts = [
+            TimedPoint(
+                i, float(1.5**i + rng.normal(0, 0.1)), float(rng.normal(0, 0.1))
+            )
+            for i in range(10)
+        ]
+        clamped = RecursiveMotionFunction(max_step_factor=1.0).fit(pts)
+        raw = RecursiveMotionFunction(max_step_factor=None).fit(pts)
+        assert abs(raw.predict(30).x) >= abs(clamped.predict(30).x)
+
+    def test_prediction_cache_consistent(self):
+        f = RecursiveMotionFunction(retrospect=2).fit(
+            samples_from(lambda t: (t * 1.0, 0.0), 10)
+        )
+        far = f.predict(50)
+        near = f.predict(20)  # cached from the same roll-out
+        again = f.predict(50)
+        assert far == again
+        assert near.x == pytest.approx(20.0, rel=1e-6)
+
+    def test_refit_clears_cache(self):
+        f = RecursiveMotionFunction(retrospect=2)
+        f.fit(samples_from(lambda t: (t * 1.0, 0.0), 10))
+        first = f.predict(20)
+        f.fit(samples_from(lambda t: (t * 2.0, 0.0), 10))
+        second = f.predict(20)
+        assert second.x == pytest.approx(40.0, rel=1e-5)
+        assert first.x != second.x
+
+
+class TestCoefficients:
+    def test_shapes(self):
+        f = RecursiveMotionFunction(retrospect=3).fit(
+            samples_from(lambda t: (t, 2 * t), 12)
+        )
+        mats = f.coefficient_matrices()
+        assert len(mats) == 3
+        assert all(m.shape == (2, 2) for m in mats)
+
+    def test_linear_motion_coefficients_reproduce_recurrence(self):
+        """For pure linear motion, applying the fitted recurrence one step
+        reproduces the next location."""
+        pts = samples_from(lambda t: (3.0 * t + 1.0, -2.0 * t), 12)
+        f = RecursiveMotionFunction(retrospect=2).fit(pts)
+        nxt = f.predict(12)
+        assert nxt.x == pytest.approx(37.0, rel=1e-6)
+        assert nxt.y == pytest.approx(-24.0, rel=1e-6)

@@ -1,0 +1,100 @@
+"""Tests for bitset operations (the paper's pattern-key operations)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.signature import bitset
+
+sigs = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestBasicOps:
+    def test_union(self):
+        assert bitset.union() == 0
+        assert bitset.union(0b001, 0b100) == 0b101
+        assert bitset.union(0b11, 0b10, 0b01) == 0b11
+
+    def test_size(self):
+        assert bitset.size(0) == 0
+        assert bitset.size(0b10110) == 3
+        with pytest.raises(ValueError):
+            bitset.size(-1)
+
+    def test_contain(self):
+        # Paper: Contain(pk1, pk2) true iff pk1 & pk2 == pk2.
+        assert bitset.contain(0b111, 0b101)
+        assert bitset.contain(0b101, 0b101)
+        assert not bitset.contain(0b101, 0b111)
+        assert bitset.contain(0b101, 0)  # empty key contained everywhere
+
+    def test_difference_paper_definition(self):
+        # Difference(pk1, pk2) = Size(pk1 XOR (pk1 AND pk2)).
+        assert bitset.difference(0b1100, 0b1010) == 1  # bit 2 uncovered
+        assert bitset.difference(0b1100, 0b1100) == 0
+        assert bitset.difference(0b1100, 0) == 2
+        assert bitset.difference(0, 0b1111) == 0
+
+    def test_difference_asymmetry(self):
+        assert bitset.difference(0b111, 0b001) == 2
+        assert bitset.difference(0b001, 0b111) == 0
+
+    def test_intersects(self):
+        assert bitset.intersects(0b110, 0b011)
+        assert not bitset.intersects(0b100, 0b011)
+        assert not bitset.intersects(0, 0b1)
+
+
+class TestConversions:
+    def test_iter_set_bits(self):
+        assert list(bitset.iter_set_bits(0b10101)) == [0, 2, 4]
+        assert list(bitset.iter_set_bits(0)) == []
+
+    def test_from_to_indices(self):
+        assert bitset.from_indices([0, 3]) == 0b1001
+        assert bitset.to_indices(0b1001) == [0, 3]
+        with pytest.raises(ValueError):
+            bitset.from_indices([-1])
+
+    def test_to_bit_string_matches_paper_format(self):
+        # Table I: region id 0 has key 00001 over 5 regions.
+        assert bitset.to_bit_string(1, 5) == "00001"
+        assert bitset.to_bit_string(0b10000, 5) == "10000"
+        with pytest.raises(ValueError):
+            bitset.to_bit_string(0b100000, 5)
+        with pytest.raises(ValueError):
+            bitset.to_bit_string(0, 0)
+
+    def test_position_of_bit(self):
+        # Positions number the *set* bits right-to-left from 1 (Property 1).
+        sig = 0b10110
+        assert bitset.position_of_bit(sig, 1) == 1
+        assert bitset.position_of_bit(sig, 2) == 2
+        assert bitset.position_of_bit(sig, 4) == 3
+        with pytest.raises(ValueError):
+            bitset.position_of_bit(sig, 0)  # bit not set
+
+
+class TestProperties:
+    @given(sigs, sigs)
+    def test_difference_counts_uncovered_bits(self, a, b):
+        assert bitset.difference(a, b) == bitset.size(a & ~b)
+
+    @given(sigs, sigs)
+    def test_contain_iff_no_difference(self, a, b):
+        assert bitset.contain(a, b) == (bitset.difference(b, a) == 0)
+
+    @given(sigs, sigs)
+    def test_union_contains_both(self, a, b):
+        u = bitset.union(a, b)
+        assert bitset.contain(u, a)
+        assert bitset.contain(u, b)
+
+    @given(sigs)
+    def test_round_trip_indices(self, a):
+        assert bitset.from_indices(bitset.to_indices(a)) == a
+
+    @given(sigs)
+    def test_positions_are_dense_ranks(self, a):
+        ranks = [bitset.position_of_bit(a, i) for i in bitset.iter_set_bits(a)]
+        assert ranks == list(range(1, bitset.size(a) + 1))

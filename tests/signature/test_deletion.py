@@ -1,0 +1,109 @@
+"""Tests for signature-tree deletion and condensation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signature import SignatureTree
+
+
+def build(signatures, max_entries=4):
+    tree = SignatureTree(max_entries=max_entries)
+    for i, sig in enumerate(signatures):
+        tree.insert(sig, i)
+    return tree
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build([0b001, 0b010, 0b100])
+        assert tree.delete(0b010)
+        assert len(tree) == 2
+        assert [e.payload for e in tree.search_intersecting(0b010)] == []
+        tree.validate()
+
+    def test_delete_missing_returns_false(self):
+        tree = build([0b001])
+        assert not tree.delete(0b110)
+        assert len(tree) == 1
+
+    def test_delete_negative_rejected(self):
+        with pytest.raises(ValueError):
+            build([1]).delete(-1)
+
+    def test_delete_with_payload_match(self):
+        tree = SignatureTree(max_entries=4)
+        tree.insert(0b11, "a")
+        tree.insert(0b11, "b")
+        assert tree.delete(0b11, match=lambda p: p == "b")
+        remaining = [e.payload for e in tree.all_entries()]
+        assert remaining == ["a"]
+
+    def test_delete_match_rejects_all(self):
+        tree = SignatureTree(max_entries=4)
+        tree.insert(0b11, "a")
+        assert not tree.delete(0b11, match=lambda p: p == "zzz")
+        assert len(tree) == 1
+
+    def test_delete_to_empty(self):
+        tree = build([0b1, 0b10])
+        assert tree.delete(0b1)
+        assert tree.delete(0b10)
+        assert len(tree) == 0
+        tree.validate()
+        # Tree remains usable.
+        tree.insert(0b101, "x")
+        assert len(tree) == 1
+
+    def test_delete_after_splits_condenses(self):
+        rng = np.random.default_rng(0)
+        sigs = [int(rng.integers(1, 2**20)) for _ in range(300)]
+        tree = build(sigs, max_entries=5)
+        # Delete two thirds, validating periodically.
+        for i, sig in enumerate(sigs[:200]):
+            assert tree.delete(sig, match=lambda p, i=i: p == i)
+            if i % 25 == 0:
+                tree.validate()
+        tree.validate()
+        assert len(tree) == 100
+        remaining = sorted(e.payload for e in tree.all_entries())
+        assert remaining == list(range(200, 300))
+
+    def test_search_still_exact_after_deletions(self):
+        rng = np.random.default_rng(1)
+        sigs = [int(rng.integers(1, 2**16)) for _ in range(200)]
+        tree = build(sigs, max_entries=4)
+        alive = dict(enumerate(sigs))
+        for i in list(alive)[::2]:
+            assert tree.delete(alive[i], match=lambda p, i=i: p == i)
+            del alive[i]
+        for _ in range(10):
+            q = int(rng.integers(1, 2**16))
+            got = sorted(e.payload for e in tree.search_intersecting(q))
+            expected = sorted(i for i, s in alive.items() if s & q)
+            assert got == expected
+
+
+class TestDeleteProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(1, 2**24 - 1), min_size=1, max_size=120),
+        st.data(),
+    )
+    def test_random_delete_keeps_invariants(self, sigs, data):
+        tree = build(sigs, max_entries=4)
+        # Delete a random subset (by index identity).
+        to_delete = data.draw(
+            st.lists(
+                st.integers(0, len(sigs) - 1),
+                unique=True,
+                max_size=len(sigs),
+            )
+        )
+        for i in to_delete:
+            assert tree.delete(sigs[i], match=lambda p, i=i: p == i)
+        tree.validate()
+        assert len(tree) == len(sigs) - len(to_delete)
+        survivors = sorted(e.payload for e in tree.all_entries())
+        assert survivors == sorted(set(range(len(sigs))) - set(to_delete))

@@ -1,0 +1,141 @@
+"""Tests for the generic signature tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signature import SignatureTree, bitset
+
+
+def build(signatures, max_entries=4):
+    tree = SignatureTree(max_entries=max_entries)
+    for i, sig in enumerate(signatures):
+        tree.insert(sig, i)
+    return tree
+
+
+class TestConstruction:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SignatureTree(max_entries=3)
+        with pytest.raises(ValueError):
+            SignatureTree(max_entries=8, min_entries=1)
+        with pytest.raises(ValueError):
+            SignatureTree(max_entries=8, min_entries=5)
+
+    def test_negative_signature_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureTree().insert(-1, "x")
+
+    def test_empty_tree(self):
+        tree = SignatureTree()
+        assert len(tree) == 0
+        assert tree.search_intersecting(0b1) == []
+        tree.validate()
+
+
+class TestInsertAndSearch:
+    def test_small_insert(self):
+        tree = build([0b001, 0b010, 0b100])
+        assert len(tree) == 3
+        hits = tree.search_intersecting(0b001)
+        assert [e.payload for e in hits] == [0]
+
+    def test_growth_through_splits(self):
+        rng = np.random.default_rng(0)
+        sigs = [int(rng.integers(1, 2**24)) for _ in range(500)]
+        tree = build(sigs, max_entries=6)
+        tree.validate()
+        assert len(tree) == 500
+        assert tree.stats().height >= 3
+
+    def test_search_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        sigs = [int(rng.integers(1, 2**16)) for _ in range(300)]
+        tree = build(sigs, max_entries=5)
+        for _ in range(20):
+            q = int(rng.integers(1, 2**16))
+            got = sorted(e.payload for e in tree.search_intersecting(q))
+            expected = sorted(i for i, s in enumerate(sigs) if s & q)
+            assert got == expected
+
+    def test_search_containment_predicate(self):
+        sigs = [0b1011, 0b0011, 0b1111, 0b0100]
+        tree = build(sigs)
+        got = sorted(
+            e.payload
+            for e in tree.search(lambda s: bitset.contain(s, 0b0011))
+        )
+        assert got == [0, 1, 2]
+
+    def test_duplicate_signatures_allowed(self):
+        tree = build([0b101] * 10)
+        assert len(tree.search_intersecting(0b100)) == 10
+
+    def test_all_entries(self):
+        tree = build([1, 2, 4, 8, 16])
+        assert sorted(e.payload for e in tree.all_entries()) == [0, 1, 2, 3, 4]
+
+    def test_zero_signature_storable(self):
+        tree = build([0, 1])
+        assert len(tree) == 2
+        # Zero signature matches nothing by intersection.
+        assert [e.payload for e in tree.search_intersecting(0b1)] == [1]
+
+
+class TestBulkLoad:
+    def test_bulk_load_equivalent_content(self):
+        rng = np.random.default_rng(2)
+        items = [(int(rng.integers(1, 2**20)), i) for i in range(200)]
+        tree = SignatureTree(max_entries=8)
+        tree.bulk_load(items)
+        tree.validate()
+        assert len(tree) == 200
+        q = 0b1010101
+        expected = sorted(i for s, i in items if s & q)
+        assert sorted(e.payload for e in tree.search_intersecting(q)) == expected
+
+
+class TestStats:
+    def test_stats_counts(self):
+        tree = build([1 << i for i in range(20)], max_entries=4)
+        stats = tree.stats()
+        assert stats.entry_count == 20
+        assert stats.leaf_count >= 20 // 4
+        assert stats.signature_bits == 20
+
+    def test_storage_bytes_monotone_in_entries(self):
+        small = build([1 << (i % 10) for i in range(10)]).stats()
+        large = build([1 << (i % 10) for i in range(100)]).stats()
+        assert large.storage_bytes() > small.storage_bytes()
+
+    def test_storage_bytes_grow_with_signature_width(self):
+        narrow = build([0b1] * 50).stats()
+        wide = build([1 << 500] * 50).stats()
+        assert wide.storage_bytes() > narrow.storage_bytes()
+
+
+class TestInvariantsUnderLoad:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=200),
+        st.integers(min_value=4, max_value=16),
+    )
+    def test_validate_after_random_inserts(self, sigs, max_entries):
+        tree = SignatureTree(max_entries=max_entries)
+        for i, sig in enumerate(sigs):
+            tree.insert(sig, i)
+        tree.validate()
+        assert len(tree) == len(sigs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=2**32 - 1), min_size=1, max_size=150),
+        st.integers(min_value=1, max_value=2**32 - 1),
+    )
+    def test_search_complete_and_sound(self, sigs, query):
+        tree = build(sigs, max_entries=4)
+        got = sorted(e.payload for e in tree.search_intersecting(query))
+        expected = sorted(i for i, s in enumerate(sigs) if s & query)
+        assert got == expected

@@ -1,0 +1,41 @@
+"""Tests for the analytic storage model (Fig. 11a's accounting)."""
+
+import pytest
+
+from repro.signature import SignatureTree
+from repro.signature.signature_tree import TreeStats
+
+
+class TestStorageBytes:
+    def test_formula(self):
+        stats = TreeStats(
+            height=2, node_count=4, leaf_count=3, entry_count=10, signature_bits=16
+        )
+        # sig 2 bytes; 3 internal entries (node_count - 1) at 2+4 bytes;
+        # 10 leaf entries at 2+4+8 bytes.
+        assert stats.storage_bytes() == 3 * 6 + 10 * 14
+
+    def test_pointer_and_payload_knobs(self):
+        stats = TreeStats(
+            height=1, node_count=1, leaf_count=1, entry_count=4, signature_bits=8
+        )
+        small = stats.storage_bytes(pointer_bytes=4, payload_bytes=0)
+        large = stats.storage_bytes(pointer_bytes=8, payload_bytes=16)
+        assert large > small
+
+    def test_bit_width_rounds_up_to_bytes(self):
+        narrow = TreeStats(1, 1, 1, 4, signature_bits=1)
+        wide = TreeStats(1, 1, 1, 4, signature_bits=9)
+        assert wide.storage_bytes() - narrow.storage_bytes() == 4  # +1 byte x4
+
+    def test_live_tree_consistency(self):
+        tree = SignatureTree(max_entries=4)
+        for i in range(50):
+            tree.insert(1 << (i % 20), i)
+        stats = tree.stats()
+        assert stats.entry_count == 50
+        assert stats.signature_bits == 20
+        # Height and node counts are mutually consistent.
+        assert stats.leaf_count <= stats.node_count
+        assert stats.height >= 2
+        assert stats.storage_bytes() > 0

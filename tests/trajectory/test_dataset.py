@@ -1,0 +1,57 @@
+"""Tests for TrajectoryDataset splits."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def dataset():
+    positions = np.arange(100, dtype=float).repeat(2).reshape(-1, 2)
+    return TrajectoryDataset(name="toy", trajectory=Trajectory(positions), period=10)
+
+
+class TestDataset:
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            TrajectoryDataset("x", dataset.trajectory, period=0)
+        with pytest.raises(ValueError):
+            TrajectoryDataset("x", Trajectory(np.empty((0, 2))), period=10)
+
+    def test_num_subtrajectories(self, dataset):
+        assert dataset.num_subtrajectories == 10
+        ragged = TrajectoryDataset(
+            "r", Trajectory(np.zeros((95, 2))), period=10
+        )
+        assert ragged.num_subtrajectories == 10  # last one partial
+
+    def test_subtrajectories(self, dataset):
+        subs = dataset.subtrajectories()
+        assert len(subs) == 10
+        assert all(s.is_complete for s in subs)
+
+    def test_training_split(self, dataset):
+        train = dataset.training_split(6)
+        assert len(train) == 60
+        assert train.start_time == 0
+
+    def test_training_split_bounds(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.training_split(0)
+        with pytest.raises(ValueError):
+            dataset.training_split(11)
+
+    def test_test_split_follows_training(self, dataset):
+        test = dataset.test_split(6)
+        assert test.start_time == 60
+        assert len(test) == 40
+
+    def test_test_split_requires_leftover(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.test_split(10)
+
+    def test_splits_partition(self, dataset):
+        train = dataset.training_split(7)
+        test = dataset.test_split(7)
+        assert len(train) + len(test) == len(dataset.trajectory)

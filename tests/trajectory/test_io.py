@@ -1,0 +1,86 @@
+"""Tests for trajectory CSV IO."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory import (
+    Trajectory,
+    load_trajectories,
+    load_trajectory,
+    save_trajectories,
+    save_trajectory,
+)
+
+
+@pytest.fixture
+def traj():
+    rng = np.random.default_rng(3)
+    return Trajectory(rng.uniform(0, 100, (25, 2)), start_time=10)
+
+
+class TestSingleTrajectory:
+    def test_round_trip(self, traj, tmp_path):
+        path = tmp_path / "t.csv"
+        save_trajectory(traj, path)
+        loaded = load_trajectory(path)
+        assert loaded == traj
+
+    def test_round_trip_preserves_exact_floats(self, tmp_path):
+        t = Trajectory([[0.1 + 0.2, 1e-17], [3.0, 4.0]])
+        path = tmp_path / "t.csv"
+        save_trajectory(t, path)
+        assert load_trajectory(path) == t
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trajectory(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,x,y\n1,2\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_trajectory(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("t,x,y\n")
+        with pytest.raises(ValueError, match="no samples"):
+            load_trajectory(path)
+
+    def test_gap_in_timestamps_rejected(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("t,x,y\n0,0,0\n2,1,1\n")
+        with pytest.raises(ValueError, match="consecutive"):
+            load_trajectory(path)
+
+    def test_out_of_order_rows_accepted(self, tmp_path):
+        path = tmp_path / "shuffled.csv"
+        path.write_text("t,x,y\n1,1,1\n0,0,0\n2,2,2\n")
+        t = load_trajectory(path)
+        assert t.start_time == 0
+        assert t.at(2).x == 2.0
+
+
+class TestMultiTrajectory:
+    def test_round_trip(self, traj, tmp_path):
+        other = Trajectory(np.zeros((5, 2)), start_time=0)
+        path = tmp_path / "multi.csv"
+        save_trajectories({"a": traj, "b": other}, path)
+        loaded = load_trajectories(path)
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"] == traj
+        assert loaded["b"] == other
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t,x,y\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trajectories(path)
+
+    def test_per_object_consecutive_check(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,t,x,y\na,0,0,0\na,2,1,1\n")
+        with pytest.raises(ValueError, match="consecutive"):
+            load_trajectories(path)

@@ -1,0 +1,78 @@
+"""Tests for prediction-error metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trajectory import Point
+from repro.trajectory.metrics import (
+    euclidean_error,
+    mean_error,
+    median_error,
+    percentile_error,
+    root_mean_squared_error,
+    summarize_errors,
+)
+
+errors_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestBasicMetrics:
+    def test_euclidean_error(self):
+        assert euclidean_error(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_mean(self):
+        assert mean_error([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_rmse_geq_mean(self):
+        errs = [1.0, 5.0, 2.0]
+        assert root_mean_squared_error(errs) >= mean_error(errs)
+
+    def test_median(self):
+        assert median_error([1.0, 100.0, 2.0]) == pytest.approx(2.0)
+
+    def test_percentile(self):
+        assert percentile_error([0.0, 10.0], 0) == 0.0
+        assert percentile_error([0.0, 10.0], 100) == 10.0
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ValueError):
+            percentile_error([1.0], 101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_error([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mean_error([1.0, -0.1])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            mean_error([[1.0, 2.0]])  # type: ignore[list-item]
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize_errors([0.0, 10.0, 20.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(10.0)
+        assert s.median == pytest.approx(10.0)
+        assert s.maximum == 20.0
+        assert s.p90 <= s.maximum
+        assert "mean=" in str(s)
+
+    @given(errors_strategy)
+    def test_order_invariants(self, errs):
+        s = summarize_errors(errs)
+        assert 0.0 <= s.median <= s.maximum
+        assert s.mean <= s.maximum
+        assert s.mean <= s.rmse + 1e-9  # Jensen: RMSE >= mean
+        assert s.p90 <= s.maximum
+
+    @given(errors_strategy, st.floats(min_value=0.1, max_value=10.0))
+    def test_mean_scales_linearly(self, errs, factor):
+        scaled = [e * factor for e in errs]
+        assert mean_error(scaled) == pytest.approx(mean_error(errs) * factor, rel=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for period estimation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import make_bike
+from repro.trajectory import Trajectory
+from repro.trajectory.periodicity import estimate_period, score_period
+
+
+def periodic_trajectory(period=24, subs=12, sigma=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    angles = 2 * np.pi * np.arange(period) / period
+    base = 1000.0 * np.column_stack([np.cos(angles), np.sin(angles)])
+    blocks = [base + rng.normal(0, sigma, base.shape) for _ in range(subs)]
+    return Trajectory(np.vstack(blocks))
+
+
+class TestScorePeriod:
+    def test_true_period_scores_near_zero(self):
+        traj = periodic_trajectory(period=24)
+        score = score_period(traj, 24)
+        assert score.coherence < 0.05
+        assert score.num_subtrajectories == 12
+
+    def test_wrong_period_scores_high(self):
+        traj = periodic_trajectory(period=24)
+        wrong = score_period(traj, 17)
+        right = score_period(traj, 24)
+        assert wrong.coherence > 10 * right.coherence
+
+    def test_multiple_of_true_period_also_coherent(self):
+        traj = periodic_trajectory(period=24)
+        assert score_period(traj, 48).coherence < 0.05
+
+    def test_validation(self):
+        traj = periodic_trajectory(period=10, subs=3)
+        with pytest.raises(ValueError):
+            score_period(traj, 1)
+        with pytest.raises(ValueError):
+            score_period(traj, 16)  # fewer than two repetitions
+
+    def test_stationary_trajectory_scores_zero(self):
+        traj = Trajectory(np.zeros((40, 2)))
+        assert score_period(traj, 10).coherence == 0.0
+
+
+class TestEstimatePeriod:
+    def test_recovers_true_period_from_candidates(self):
+        traj = periodic_trajectory(period=24)
+        ranked = estimate_period(traj, candidates=[10, 17, 24, 30])
+        assert ranked[0].period == 24
+
+    def test_exhaustive_scan_leaders_are_multiples(self):
+        traj = periodic_trajectory(period=20, subs=10)
+        ranked = estimate_period(traj, min_period=10, max_period=90)
+        leaders = [s.period for s in ranked[:4]]
+        assert 20 in leaders
+        assert all(p % 20 == 0 for p in leaders)
+
+    def test_on_paper_scenario(self):
+        dataset = make_bike(num_subtrajectories=8, period=40)
+        ranked = estimate_period(
+            dataset.trajectory, candidates=[25, 40, 55, 80]
+        )
+        assert ranked[0].period in (40, 80)
+        assert ranked[0].period == 40 or ranked[1].period == 40
+
+    def test_too_short_history_rejected(self):
+        traj = periodic_trajectory(period=10, subs=2)
+        with pytest.raises(ValueError, match="two repetitions"):
+            estimate_period(traj, candidates=[50])
+
+    def test_validation(self):
+        traj = periodic_trajectory()
+        with pytest.raises(ValueError):
+            estimate_period(traj, candidates=[])
+        with pytest.raises(ValueError):
+            estimate_period(traj, min_period=1)
+        with pytest.raises(ValueError):
+            estimate_period(traj, min_period=30, max_period=20)

@@ -1,0 +1,142 @@
+"""Tests for geometric primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trajectory.point import BoundingBox, Point, TimedPoint, centroid
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        assert Point(3.0, 4.0).distance_to(Point(3.0, 4.0)) == 0.0
+
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(4.0, 6.0)) == Point(2.0, 3.0)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+        assert tuple(p) == (1.5, 2.5)
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestTimedPoint:
+    def test_point_accessor(self):
+        tp = TimedPoint(5, 1.0, 2.0)
+        assert tp.point == Point(1.0, 2.0)
+        assert tp.as_tuple() == (5, 1.0, 2.0)
+
+    def test_offset(self):
+        assert TimedPoint(305, 0.0, 0.0).offset(300) == 5
+        assert TimedPoint(300, 0.0, 0.0).offset(300) == 0
+        assert TimedPoint(299, 0.0, 0.0).offset(300) == 299
+
+    def test_offset_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            TimedPoint(5, 0.0, 0.0).offset(0)
+
+
+class TestBoundingBox:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 5), Point(3, 2), (0, 4)])
+        assert box == BoundingBox(0.0, 2.0, 3.0, 5.0)
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+    def test_center_width_height_area(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert box.center == Point(2.0, 1.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.area == 8.0
+
+    def test_contains_boundary_inclusive(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        assert box.contains(Point(0.0, 0.0))
+        assert box.contains((2.0, 2.0))
+        assert not box.contains(Point(2.0001, 1.0))
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 2, 2)
+        assert a.intersects(BoundingBox(1, 1, 3, 3))
+        assert a.intersects(BoundingBox(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(BoundingBox(2.1, 0, 3, 2))
+
+    def test_union(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, -1, 3, 0.5)
+        assert a.union(b) == BoundingBox(0, -1, 3, 1)
+
+    def test_expanded(self):
+        assert BoundingBox(0, 0, 1, 1).expanded(1.0) == BoundingBox(-1, -1, 2, 2)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).expanded(-0.5)
+
+    def test_clamp(self):
+        box = BoundingBox(0, 0, 2, 2)
+        assert box.clamp(Point(5, 1)) == Point(2, 1)
+        assert box.clamp(Point(-1, -1)) == Point(0, 0)
+        assert box.clamp(Point(1, 1)) == Point(1, 1)
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=30))
+    def test_from_points_contains_all(self, pts):
+        box = BoundingBox.from_points(pts)
+        for p in pts:
+            assert box.contains(p)
+
+    @given(
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=10),
+        st.lists(st.tuples(finite, finite), min_size=1, max_size=10),
+    )
+    def test_union_contains_both(self, pts_a, pts_b):
+        a = BoundingBox.from_points(pts_a)
+        b = BoundingBox.from_points(pts_b)
+        u = a.union(b)
+        for p in pts_a + pts_b:
+            assert u.contains(p)
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(2.0, 3.0)]) == Point(2.0, 3.0)
+
+    def test_mean(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1.0, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])

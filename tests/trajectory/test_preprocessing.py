@@ -1,0 +1,166 @@
+"""Tests for GPS preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trajectory.preprocessing import (
+    fill_gaps,
+    remove_speed_spikes,
+    resample_uniform,
+    stay_points,
+)
+
+
+class TestResample:
+    def test_uniform_input_passthrough(self):
+        times = np.arange(5, dtype=float)
+        pos = np.column_stack([times * 2, times * 3])
+        traj = resample_uniform(times, pos)
+        assert len(traj) == 5
+        assert np.allclose(traj.positions, pos)
+
+    def test_interpolates_between_fixes(self):
+        times = [0.0, 2.0]
+        pos = np.array([[0.0, 0.0], [4.0, 8.0]])
+        traj = resample_uniform(times, pos, tick=1.0)
+        assert len(traj) == 3
+        assert np.allclose(traj.positions[1], [2.0, 4.0])
+
+    def test_irregular_sampling(self):
+        times = [0.0, 0.5, 3.0]
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [6.0, 0.0]])
+        traj = resample_uniform(times, pos, tick=1.0)
+        assert len(traj) == 4
+        # Between fixes (0.5, x=1) and (3.0, x=6): x(2) = 1 + 1.5/2.5 * 5.
+        assert traj.positions[2, 0] == pytest.approx(4.0)
+
+    def test_unsorted_fixes_sorted(self):
+        times = [2.0, 0.0, 1.0]
+        pos = np.array([[2.0, 0.0], [0.0, 0.0], [1.0, 0.0]])
+        traj = resample_uniform(times, pos)
+        assert np.allclose(traj.positions[:, 0], [0.0, 1.0, 2.0])
+
+    def test_duplicate_timestamps_keep_last(self):
+        times = [0.0, 1.0, 1.0, 2.0]
+        pos = np.array([[0.0, 0.0], [5.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        traj = resample_uniform(times, pos)
+        assert traj.positions[1, 0] == pytest.approx(1.0)
+
+    def test_single_fix(self):
+        traj = resample_uniform([5.0], np.array([[1.0, 2.0]]))
+        assert len(traj) == 1
+
+    def test_start_time(self):
+        traj = resample_uniform([0.0, 1.0], np.zeros((2, 2)), start_time=100)
+        assert traj.start_time == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resample_uniform([], np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            resample_uniform([0.0], np.array([[np.nan, 0.0]]))
+        with pytest.raises(ValueError):
+            resample_uniform([0.0, 1.0], np.zeros((2, 2)), tick=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_grid_is_uniform_and_in_hull(self, times):
+        times = sorted(times)
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(-10, 10, (len(times), 2))
+        traj = resample_uniform(times, pos, tick=1.0)
+        # Interpolation never leaves the coordinate-wise hull.
+        assert traj.positions[:, 0].max() <= pos[:, 0].max() + 1e-9
+        assert traj.positions[:, 0].min() >= pos[:, 0].min() - 1e-9
+
+
+class TestFillGaps:
+    def test_no_gaps_returns_all(self):
+        times = np.arange(5, dtype=float)
+        pos = np.zeros((5, 2))
+        t, p = fill_gaps(times, pos, max_gap=2.0)
+        assert len(t) == 5
+
+    def test_keeps_longest_segment(self):
+        times = np.array([0.0, 1.0, 10.0, 11.0, 12.0, 13.0])
+        pos = np.column_stack([times, times])
+        t, p = fill_gaps(times, pos, max_gap=3.0)
+        assert list(t) == [10.0, 11.0, 12.0, 13.0]
+        assert p.shape == (4, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fill_gaps([0.0], np.zeros((1, 2)), max_gap=0.0)
+
+
+class TestSpeedSpikes:
+    def test_clean_data_untouched(self):
+        times = np.arange(5, dtype=float)
+        pos = np.column_stack([times, np.zeros(5)])  # speed 1
+        t, p = remove_speed_spikes(times, pos, max_speed=2.0)
+        assert len(t) == 5
+
+    def test_single_spike_removed(self):
+        times = np.arange(5, dtype=float)
+        pos = np.column_stack([times.copy(), np.zeros(5)])
+        pos[2] = [100.0, 100.0]  # multipath jump
+        t, p = remove_speed_spikes(times, pos, max_speed=2.0)
+        assert list(t) == [0.0, 1.0, 3.0, 4.0]
+        assert not np.any(p[:, 1] > 50)
+
+    def test_first_fix_never_dropped(self):
+        times = np.array([0.0, 1.0, 2.0])
+        pos = np.array([[0.0, 0.0], [100.0, 0.0], [101.0, 0.0]])
+        t, p = remove_speed_spikes(times, pos, max_speed=2.0)
+        assert t[0] == 0.0
+
+    def test_adjacent_spike_pair_removed(self):
+        times = np.arange(6, dtype=float)
+        pos = np.column_stack([times.copy(), np.zeros(6)])
+        pos[2] = [100.0, 100.0]
+        pos[3] = [101.0, 100.0]  # pair of bad fixes moving together
+        t, p = remove_speed_spikes(times, pos, max_speed=2.0)
+        assert not np.any(p[:, 1] > 50)
+        assert t[0] == 0.0 and t[-1] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            remove_speed_spikes([0.0], np.zeros((1, 2)), max_speed=0.0)
+
+
+class TestStayPoints:
+    def test_detects_dwell(self):
+        times = np.arange(10, dtype=float)
+        pos = np.zeros((10, 2))
+        pos[5:] = [100.0, 0.0]  # move away after 5 ticks at origin
+        stays = stay_points(times, pos, radius=1.0, min_duration=3.0)
+        assert len(stays) == 2
+        assert stays[0].center.distance_to(
+            __import__("repro").Point(0.0, 0.0)
+        ) < 1e-9
+        assert stays[0].duration == pytest.approx(4.0)
+
+    def test_moving_object_has_no_stays(self):
+        times = np.arange(10, dtype=float)
+        pos = np.column_stack([10.0 * times, np.zeros(10)])
+        assert stay_points(times, pos, radius=1.0, min_duration=2.0) == []
+
+    def test_short_dwell_ignored(self):
+        times = np.arange(4, dtype=float)
+        pos = np.array([[0.0, 0.0], [0.1, 0.0], [50.0, 0.0], [100.0, 0.0]])
+        assert stay_points(times, pos, radius=1.0, min_duration=5.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stay_points([0.0], np.zeros((1, 2)), radius=0.0, min_duration=1.0)
+        with pytest.raises(ValueError):
+            stay_points([0.0], np.zeros((1, 2)), radius=1.0, min_duration=0.0)

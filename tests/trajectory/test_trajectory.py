@@ -1,0 +1,184 @@
+"""Tests for the Trajectory container and periodic decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trajectory import Point, Trajectory
+
+
+def ramp(n: int, start_time: int = 0) -> Trajectory:
+    """A trajectory moving along the diagonal: position i = (i, 2i)."""
+    positions = np.column_stack([np.arange(n, dtype=float), 2.0 * np.arange(n)])
+    return Trajectory(positions, start_time=start_time)
+
+
+class TestConstruction:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros(5))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Trajectory([[0.0, np.nan]])
+        with pytest.raises(ValueError):
+            Trajectory([[np.inf, 0.0]])
+
+    def test_accepts_lists(self):
+        t = Trajectory([[0.0, 1.0], [2.0, 3.0]])
+        assert len(t) == 2
+        assert t[1] == Point(2.0, 3.0)
+
+    def test_positions_view_is_read_only(self):
+        t = ramp(5)
+        with pytest.raises(ValueError):
+            t.positions[0, 0] = 99.0
+
+    def test_equality(self):
+        assert ramp(5) == ramp(5)
+        assert ramp(5) != ramp(6)
+        assert ramp(5) != ramp(5, start_time=1)
+
+
+class TestTimeAccess:
+    def test_at_uses_global_time(self):
+        t = ramp(10, start_time=100)
+        assert t.at(100) == Point(0.0, 0.0)
+        assert t.at(104) == Point(4.0, 8.0)
+        assert t.end_time == 109
+
+    def test_at_out_of_range(self):
+        t = ramp(10, start_time=100)
+        with pytest.raises(IndexError):
+            t.at(99)
+        with pytest.raises(IndexError):
+            t.at(110)
+
+    def test_timed_point(self):
+        tp = ramp(10).timed_point(3)
+        assert (tp.t, tp.x, tp.y) == (3, 3.0, 6.0)
+
+    def test_window_inclusive(self):
+        w = ramp(10).window(2, 4)
+        assert [p.t for p in w] == [2, 3, 4]
+        with pytest.raises(ValueError):
+            ramp(10).window(4, 2)
+
+    def test_slice_preserves_global_time(self):
+        s = ramp(10, start_time=5).slice(2, 6)
+        assert len(s) == 4
+        assert s.start_time == 7
+        assert s.at(7) == Point(2.0, 4.0)
+
+    def test_slice_bounds(self):
+        with pytest.raises(ValueError):
+            ramp(5).slice(3, 2)
+        with pytest.raises(ValueError):
+            ramp(5).slice(0, 6)
+
+    def test_bounding_box(self):
+        box = ramp(5).bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0.0, 0.0, 4.0, 8.0)
+
+
+class TestDecomposition:
+    def test_exact_multiple(self):
+        subs = ramp(12).decompose(4)
+        assert [len(s) for s in subs] == [4, 4, 4]
+        assert all(s.is_complete for s in subs)
+        assert [s.index for s in subs] == [0, 1, 2]
+
+    def test_trailing_partial(self):
+        subs = ramp(10).decompose(4)
+        assert [len(s) for s in subs] == [4, 4, 2]
+        assert not subs[-1].is_complete
+
+    def test_subtrajectory_offset_access(self):
+        subs = ramp(12).decompose(4)
+        # sub 1 offset 2 is global index 6 -> (6, 12)
+        assert subs[1].at_offset(2) == Point(6.0, 12.0)
+        with pytest.raises(IndexError):
+            subs[1].at_offset(4)
+
+    def test_subtrajectory_global_time(self):
+        subs = ramp(12, start_time=100).decompose(4)
+        assert subs[2].global_time(1) == 109
+
+    def test_subtrajectory_positions_copy(self):
+        subs = ramp(8).decompose(4)
+        arr = subs[0].positions()
+        arr[0, 0] = -1.0
+        assert subs[0].at_offset(0) == Point(0.0, 0.0)
+
+    def test_bad_period(self):
+        with pytest.raises(ValueError):
+            ramp(10).decompose(0)
+
+
+class TestOffsetGroups:
+    def test_group_collects_same_offset(self):
+        t = ramp(12)
+        g = t.offset_group(1, 4)
+        # offsets 1, 5, 9 -> x values 1, 5, 9
+        assert list(g.positions[:, 0]) == [1.0, 5.0, 9.0]
+        assert list(g.subtrajectory_ids) == [0, 1, 2]
+        assert g.offset == 1
+
+    def test_groups_partition_trajectory(self):
+        t = ramp(10)
+        groups = t.offset_groups(4)
+        assert sum(len(g) for g in groups) == 10
+
+    def test_group_bounds(self):
+        with pytest.raises(ValueError):
+            ramp(10).offset_group(4, 4)
+        with pytest.raises(ValueError):
+            ramp(10).offset_group(-1, 4)
+
+    def test_group_sub_ids_match_decompose(self):
+        """Offset-group sub ids agree with decompose() sub indices."""
+        t = ramp(20)
+        subs = t.decompose(5)
+        for g in t.offset_groups(5):
+            for pos, sub_id in zip(g.positions, g.subtrajectory_ids):
+                assert subs[sub_id].at_offset(g.offset).x == pos[0]
+
+    def test_group_with_shifted_start_time(self):
+        """Offsets follow global time; sub ids stay index-based."""
+        t = ramp(8, start_time=3)
+        g = t.offset_group(3, 4)  # global times 3 and 7 -> x = 0 and 4
+        assert list(g.positions[:, 0]) == [0.0, 4.0]
+        assert list(g.subtrajectory_ids) == [0, 1]
+
+    @given(st.integers(5, 40), st.integers(2, 7))
+    def test_groups_partition_property(self, n, period):
+        t = ramp(n)
+        groups = t.offset_groups(period)
+        assert sum(len(g) for g in groups) == n
+        # every sample appears in exactly the group of its offset
+        for g in groups:
+            for x in g.positions[:, 0]:
+                assert int(x) % period == g.offset
+
+
+class TestConcatenate:
+    def test_concatenate(self):
+        t = Trajectory.concatenate([ramp(3), ramp(2)])
+        assert len(t) == 5
+        assert t[3] == Point(0.0, 0.0)
+
+    def test_concatenate_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory.concatenate([])
+
+    def test_from_subtrajectories(self):
+        t = Trajectory.from_subtrajectories([np.zeros((3, 2)), np.ones((2, 2))])
+        assert len(t) == 5
+        assert t[4] == Point(1.0, 1.0)
+
+    def test_from_subtrajectories_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory.from_subtrajectories([])

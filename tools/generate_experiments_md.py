@@ -1,0 +1,455 @@
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table and figure.
+
+Runs every experiment runner and writes the results — tables plus ASCII
+charts — together with the paper's expected shape for each, so the file
+is a self-contained reproduction record.
+
+Usage:
+    python tools/generate_experiments_md.py            # quick protocol
+    python tools/generate_experiments_md.py --full     # paper protocol
+    python tools/generate_experiments_md.py -o OUT.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.datagen import SCENARIO_NAMES, make_dataset
+from repro.evalx import (
+    ExperimentScale,
+    ascii_chart,
+    format_table,
+    paper_scale,
+    quick_scale,
+    run_baseline_comparison,
+    run_chooseleaf_ablation,
+    run_confidence,
+    run_eps,
+    run_fanout_ablation,
+    run_minpts,
+    run_prediction_length,
+    run_pruning_ablation,
+    run_query_time,
+    run_subtrajectories,
+    run_time_relaxation,
+    run_top_k,
+    run_tpt_scaling,
+    run_weight_functions,
+)
+
+
+def md_table(headers, rows):
+    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        cells = [f"{v:.1f}" if isinstance(v, float) else str(v) for v in row]
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)
+
+
+def code_block(text):
+    return f"```\n{text}\n```"
+
+
+class Report:
+    def __init__(self):
+        self.sections: list[str] = []
+
+    def add(self, text: str):
+        self.sections.append(text)
+        print(text.splitlines()[0] if text.strip() else "", file=sys.stderr)
+
+    def write(self, path: Path, header: str):
+        path.write_text(header + "\n\n" + "\n\n".join(self.sections) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper protocol")
+    parser.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+
+    scale = paper_scale() if args.full else quick_scale()
+    started = time.time()
+    report = Report()
+
+    datasets = {
+        name: make_dataset(name, scale.dataset_subtrajectories, scale.period)
+        for name in SCENARIO_NAMES
+    }
+
+    # ------------------------------------------------------------------
+    # Tables I-III
+    # ------------------------------------------------------------------
+    report.add(
+        "## Tables I–III — key encoding (worked example)\n\n"
+        "**Paper:** region keys `2^id` over offset-sorted regions; "
+        "consequence keys over sorted consequence offsets; pattern key = "
+        "consequence key ∥ premise key (`0100001`, `1000011`, `1000101` for "
+        "Fig. 3's patterns).\n\n"
+        "**Measured:** reproduced bit-for-bit — asserted in "
+        "`tests/core/test_keys.py::TestPaperTables` and printed by "
+        "`examples/paper_walkthrough.py` (query key `1000011`, FQP scores "
+        "0.5 / 0.133)."
+    )
+
+    # ------------------------------------------------------------------
+    # Fig. 5
+    # ------------------------------------------------------------------
+    lengths = [20, 40, 60, 80, 100, 120, 140, 160, 180, 200] if args.full else [20, 60, 120, 200]
+    blocks = ["## Fig. 5 — effect of prediction length\n",
+              "**Paper:** HPM error low and flat at every horizon; RMF error "
+              "rises steeply (Car worst — sudden turns); HPM never exceeds "
+              "RMF; Airplane is HPM's weakest dataset (few patterns).\n",
+              "**Measured:**\n"]
+    for name, ds in datasets.items():
+        rows = run_prediction_length(ds, lengths, scale)
+        blocks.append(f"### {name}\n")
+        blocks.append(
+            md_table(
+                ["length", "HPM error", "RMF error", "fqp", "bqp", "motion"],
+                [
+                    [
+                        r["prediction_length"],
+                        r["hpm_error"],
+                        r["rmf_error"],
+                        r["hpm_methods"].get("fqp", 0),
+                        r["hpm_methods"].get("bqp", 0),
+                        r["hpm_methods"].get("motion", 0),
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+        blocks.append(
+            code_block(
+                ascii_chart(
+                    f"Fig. 5 ({name}) — mean error vs prediction length",
+                    [r["prediction_length"] for r in rows],
+                    {
+                        "HPM": [max(r["hpm_error"], 1.0) for r in rows],
+                        "RMF": [max(r["rmf_error"], 1.0) for r in rows],
+                    },
+                    log_y=True,
+                )
+            )
+        )
+    report.add("\n\n".join(blocks))
+
+    # ------------------------------------------------------------------
+    # Fig. 6
+    # ------------------------------------------------------------------
+    counts = [10, 20, 30, 40, 50, 60] if args.full else [5, 10, 20, 30]
+    counts = [c for c in counts if c < scale.dataset_subtrajectories]
+    blocks = ["## Fig. 6 — effect of sub-trajectories (prediction length 50)\n",
+              "**Paper:** HPM error starts near RMF with little history, "
+              "then drops steeply once enough sub-trajectories accumulate; "
+              "RMF flat; HPM never exceeds RMF.\n",
+              "**Deviation note:** our generator injects patterns strongly "
+              "enough that the corpus saturates after ~10 sub-trajectories "
+              "on the clean datasets, so the paper's high-error left end "
+              "compresses into the first one or two points; the drop and "
+              "the flat RMF line reproduce.\n",
+              "**Measured:**\n"]
+    for name, ds in datasets.items():
+        rows = run_subtrajectories(ds, counts, scale, prediction_length=50)
+        blocks.append(f"### {name}\n")
+        blocks.append(
+            md_table(
+                ["subtrajectories", "HPM error", "RMF error", "patterns"],
+                [
+                    [r["num_subtrajectories"], r["hpm_error"], r["rmf_error"], r["num_patterns"]]
+                    for r in rows
+                ],
+            )
+        )
+    report.add("\n\n".join(blocks))
+
+    # ------------------------------------------------------------------
+    # Fig. 7 / Fig. 8 / Fig. 9
+    # ------------------------------------------------------------------
+    eps_values = [22.0, 26.0, 30.0, 34.0, 38.0] if args.full else [22.0, 30.0, 38.0]
+    blocks = ["## Fig. 7 — effect of Eps\n",
+              "**Paper:** pattern counts grow strongly with Eps (up to ~65k "
+              "for Bike); once patterns are sufficient, accuracy barely "
+              "moves (Bike flat); weakly patterned Airplane only becomes "
+              "accurate at large Eps.\n",
+              "**Deviation note:** absolute pattern counts depend on route "
+              "geometry (multi-route datasets carry more regions per "
+              "offset), so the per-dataset count ordering differs from the "
+              "paper's; the growth-with-Eps trend and the "
+              "accuracy-once-sufficient behaviour are the reproduction "
+              "targets.\n",
+              "**Measured:**\n"]
+    for name, ds in datasets.items():
+        rows = run_eps(ds, eps_values, scale)
+        blocks.append(f"### {name}\n")
+        blocks.append(
+            md_table(
+                ["eps", "patterns", "HPM error"],
+                [[r["eps"], r["num_patterns"], r["hpm_error"]] for r in rows],
+            )
+        )
+    report.add("\n\n".join(blocks))
+
+    minpts_values = [3, 4, 5, 6, 7] if args.full else [3, 5, 7]
+    blocks = ["## Fig. 8 — effect of MinPts\n",
+              "**Paper:** raising MinPts considerably reduces pattern "
+              "counts; with too few patterns, errors rise significantly.\n",
+              "**Measured:**\n"]
+    for name, ds in datasets.items():
+        rows = run_minpts(ds, minpts_values, scale)
+        blocks.append(f"### {name}\n")
+        blocks.append(
+            md_table(
+                ["min_pts", "patterns", "HPM error"],
+                [[r["min_pts"], r["num_patterns"], r["hpm_error"]] for r in rows],
+            )
+        )
+    report.add("\n\n".join(blocks))
+
+    conf_values = (
+        [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        if args.full
+        else [0.0, 0.3, 0.6, 0.9]
+    )
+    blocks = ["## Fig. 9 — effect of minimum confidence\n",
+              "**Paper:** pattern counts fall as the threshold rises; Bike's "
+              "accuracy barely changes (only some patterns are useful); "
+              "Airplane degrades sharply once ~60 % leaves it without "
+              "enough patterns.\n",
+              "**Measured:**\n"]
+    for name, ds in datasets.items():
+        rows = run_confidence(ds, conf_values, scale)
+        blocks.append(f"### {name}\n")
+        blocks.append(
+            md_table(
+                ["min_conf", "patterns", "HPM error"],
+                [[r["min_confidence"], r["num_patterns"], r["hpm_error"]] for r in rows],
+            )
+        )
+    report.add("\n\n".join(blocks))
+
+    # ------------------------------------------------------------------
+    # Fig. 10
+    # ------------------------------------------------------------------
+    qt_counts = [10, 20, 30, 40, 50, 60] if args.full else [5, 15, 30]
+    qt_counts = [c for c in qt_counts if c < scale.dataset_subtrajectories]
+    blocks = ["## Fig. 10 — query response time\n",
+              "**Paper:** HPM's cost decreases as more patterns are "
+              "discovered (fewer expensive RMF fallback calls); RMF flat "
+              "(~15–25 ms on their P4/C++). Absolute ms are not "
+              "comparable; the trend is.\n",
+              "**Measured:**\n"]
+    for name, ds in datasets.items():
+        rows = run_query_time(ds, qt_counts, scale, num_queries=30)
+        blocks.append(f"### {name}\n")
+        blocks.append(
+            md_table(
+                ["subtrajectories", "HPM ms", "RMF ms", "motion fallbacks"],
+                [
+                    [r["num_subtrajectories"], r["hpm_ms"], r["rmf_ms"], r["motion_fallbacks"]]
+                    for r in rows
+                ],
+            )
+        )
+    report.add("\n\n".join(blocks))
+
+    # ------------------------------------------------------------------
+    # Fig. 11
+    # ------------------------------------------------------------------
+    pattern_counts = [1000, 5000, 10000, 50000, 100000] if args.full else [1000, 5000, 10000]
+    region_counts = [80, 400, 800] if args.full else [80, 400]
+    rows = run_tpt_scaling(pattern_counts, region_counts, num_queries=50)
+    chart = ascii_chart(
+        "Fig. 11b — search cost vs corpus size (largest region count)",
+        pattern_counts,
+        {
+            "TPT": [
+                max(r["tpt_ms"], 1e-3)
+                for r in rows
+                if r["num_regions"] == region_counts[-1]
+            ],
+            "brute": [
+                max(r["brute_ms"], 1e-3)
+                for r in rows
+                if r["num_regions"] == region_counts[-1]
+            ],
+        },
+        log_y=True,
+    )
+    report.add(
+        "## Fig. 11 — TPT storage and search cost\n\n"
+        "**Paper:** (a) storage grows with patterns and with the number of "
+        "frequent regions (key width), staying small (≤ ~35 MB at 100k "
+        "patterns / 800 regions); (b) TPT search near-constant while brute "
+        "force grows linearly.\n\n"
+        "**Measured:**\n\n"
+        + md_table(
+            ["regions", "patterns", "storage MB", "TPT ms", "brute ms", "height"],
+            [
+                [
+                    r["num_regions"],
+                    r["num_patterns"],
+                    round(r["storage_mb"], 3),
+                    round(r["tpt_ms"], 3),
+                    round(r["brute_ms"], 3),
+                    r["tree_height"],
+                ]
+                for r in rows
+            ],
+        )
+        + "\n\n"
+        + code_block(chart)
+    )
+
+    # ------------------------------------------------------------------
+    # Text-claim ablations
+    # ------------------------------------------------------------------
+    ablation_rows = [run_pruning_ablation(datasets[name], scale) for name in SCENARIO_NAMES]
+    report.add(
+        "## §IV — pruning effect\n\n"
+        "**Paper:** \"58 % of trajectory patterns were reduced by the "
+        "pruning effect.\"\n\n"
+        "**Deviation note:** our corpus mines premise *pairs*, and each "
+        "3-itemset admits six unpruned bipartitions vs one pruned rule, so "
+        "the measured reduction lands above the paper's 58 % — same "
+        "mechanism, heavier-tailed itemsets.\n\n**Measured:**\n\n"
+        + md_table(
+            ["dataset", "pruned", "unpruned", "reduction %"],
+            [
+                [r["dataset"], r["pruned_patterns"], r["unpruned_rules"], round(r["reduction_pct"], 1)]
+                for r in ablation_rows
+            ],
+        )
+    )
+
+    weight_rows = []
+    for name in SCENARIO_NAMES:
+        weight_rows.extend(run_weight_functions(datasets[name], scale, prediction_length=30))
+    report.add(
+        "## §VI-A — weight functions\n\n"
+        "**Paper:** \"the linear and the quadratic functions showed better "
+        "prediction results among the weight functions.\"\n\n"
+        "**Protocol note:** mined with premise length 3 so the families can "
+        "disagree; with the default length-2 premises every intersecting "
+        "candidate ties at S_r = 1 and all four families predict "
+        "identically.\n\n**Measured:**\n\n"
+        + md_table(
+            ["dataset", "weight function", "HPM error"],
+            [[r["dataset"], r["weight_function"], r["hpm_error"]] for r in weight_rows],
+        )
+    )
+
+    relax_rows = []
+    for name in SCENARIO_NAMES:
+        relax_rows.extend(
+            run_time_relaxation(datasets[name], scale, [1, 2, 3, 5, 8], prediction_length=100)
+        )
+    report.add(
+        "## §VI-C — time relaxation\n\n"
+        "**Paper:** \"the best prediction accuracy regarding to the time "
+        "relaxation length t_eps was observed when 1 <= t_eps <= 3.\"\n\n"
+        "**Measured:**\n\n"
+        + md_table(
+            ["dataset", "t_eps", "HPM error"],
+            [[r["dataset"], r["time_relaxation"], r["hpm_error"]] for r in relax_rows],
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Beyond the paper: baselines and index ablations
+    # ------------------------------------------------------------------
+    base_rows = []
+    for name in SCENARIO_NAMES:
+        base_rows.extend(run_baseline_comparison(datasets[name], scale, [20, 100]))
+    report.add(
+        "## Extension — baseline tiers\n\n"
+        "Periodic-mean shares HPM's periodicity insight without rules or "
+        "recent-movement evidence; the HPM-vs-periodic-mean gap isolates "
+        "what the rule machinery adds.\n\n"
+        + md_table(
+            ["dataset", "length", "HPM", "RMF", "linear", "poly", "periodic mean", "last pos"],
+            [
+                [
+                    r["dataset"],
+                    r["prediction_length"],
+                    r["hpm"],
+                    r["rmf"],
+                    r["linear"],
+                    r["polynomial"],
+                    r["periodic_mean"],
+                    r["last_position"],
+                ]
+                for r in base_rows
+            ],
+        )
+    )
+
+    topk_rows = []
+    for name in SCENARIO_NAMES:
+        topk_rows.extend(run_top_k(datasets[name], [1, 2, 3, 5], scale, prediction_length=100))
+    report.add(
+        "## Extension — best-of-k accuracy\n\n"
+        "The paper returns top-k consequence centers but evaluates only "
+        "k = 1. Measured: extra (deduplicated) candidates barely move "
+        "best-of-k error — the residual error comes from off-pattern days "
+        "no stored pattern covers, not from rank-1/rank-2 confusion, so "
+        "top-1 already extracts most of the corpus's value.\n\n"
+        + md_table(
+            ["dataset", "k", "error@k"],
+            [[r["dataset"], r["k"], r["error_at_k"]] for r in topk_rows],
+        )
+    )
+
+    choose = run_chooseleaf_ablation(
+        num_patterns=40000 if args.full else 10000, num_regions=300, num_queries=150
+    )
+    fanout_rows = run_fanout_ablation(
+        [8, 16, 32, 64, 128], num_patterns=40000 if args.full else 10000, num_queries=150
+    )
+    report.add(
+        "## Extension — index-design ablations\n\n"
+        "**ChooseLeaf policy** (paper §V-B: the Intersect case \"is useful "
+        "for efficient query processing ... cannot be achieved by the "
+        "construction algorithm of signature tree\"):\n\n"
+        + md_table(
+            ["policy", "nodes visited / query"],
+            [
+                ["Algorithm 1 (paper)", round(choose["algorithm1_nodes_per_query"], 1)],
+                ["generic signature tree", round(choose["generic_nodes_per_query"], 1)],
+            ],
+        )
+        + "\n\n**Node fanout:**\n\n"
+        + md_table(
+            ["fanout", "build s", "search ms", "height", "storage MB"],
+            [
+                [r["fanout"], round(r["build_s"], 2), round(r["search_ms"], 3), r["height"], round(r["storage_mb"], 2)]
+                for r in fanout_rows
+            ],
+        )
+    )
+
+    elapsed = time.time() - started
+    protocol = "paper protocol (REPRO_FULL)" if args.full else "quick protocol"
+    header = (
+        "# EXPERIMENTS — paper vs measured\n\n"
+        "Reproduction record for every table and figure of *A Hybrid "
+        "Prediction Model for Moving Objects* (ICDE 2008).  Regenerate "
+        f"with `python tools/generate_experiments_md.py{' --full' if args.full else ''}`.\n\n"
+        f"Protocol: {protocol} — {scale.training_subtrajectories} training "
+        f"sub-trajectories, {scale.num_queries} queries per point, "
+        f"T = {scale.period}, defaults Eps = 30, MinPts = 4, "
+        f"min confidence = 0.3, d = 60, k = 1.  Errors are mean Euclidean "
+        "distances in the [0, 10000]² data space; latencies are Python "
+        "wall-clock (the paper used a C++/Pentium-4 prototype — compare "
+        f"shapes, not values).  Generated in {elapsed/60:.1f} min."
+    )
+    report.write(Path(args.output), header)
+    print(f"\nwrote {args.output} in {elapsed/60:.1f} min", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
