@@ -30,8 +30,10 @@ from .core import (
     TrajectoryPattern,
     TrajectoryPatternTree,
     discover_frequent_regions,
+    load_fleet,
     load_model,
     mine_trajectory_patterns,
+    save_fleet,
     save_model,
 )
 from .motion import LinearMotionFunction, MotionFunction, RecursiveMotionFunction
@@ -68,7 +70,9 @@ __all__ = [
     "TrajectoryPatternTree",
     "__version__",
     "discover_frequent_regions",
+    "load_fleet",
     "load_model",
     "mine_trajectory_patterns",
+    "save_fleet",
     "save_model",
 ]

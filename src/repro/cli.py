@@ -1,11 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's operational loop:
+Six subcommands cover the library's operational loop:
 
 * ``synth``    — generate one of the paper's scenario datasets to CSV;
 * ``mine``     — fit an HPM on a trajectory CSV and save the model;
 * ``predict``  — answer a predictive query against a saved model;
-* ``evaluate`` — run an HPM-vs-RMF accuracy comparison on a dataset CSV.
+* ``evaluate`` — run an HPM-vs-RMF accuracy comparison on a dataset CSV;
+* ``serve``    — run the asyncio prediction service over a saved model
+  or fleet snapshot (see :mod:`repro.serve`);
+* ``loadgen``  — replay a trajectory workload against a running server
+  and report throughput/latency.
 """
 
 from __future__ import annotations
@@ -70,6 +74,54 @@ def build_parser() -> argparse.ArgumentParser:
                           help="prediction length")
     evaluate.add_argument("--queries", type=int, default=30)
     evaluate.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="run the asyncio prediction service over a saved model"
+    )
+    serve.add_argument(
+        "model",
+        help="model .npz from `repro mine` or a fleet snapshot directory",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--object-id",
+        default="default",
+        help="object id assigned to a single-model .npz (ignored for snapshots)",
+    )
+    serve.add_argument("--cache-entries", type=int, default=4096,
+                       help="LRU capacity of the prediction cache")
+    serve.add_argument("--cache-ttl", type=float, default=30.0,
+                       help="seconds a cached answer stays valid (0 disables caching)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="coalescing delay for concurrent predicts (0 disables batching)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush a batch early at this many distinct requests")
+    serve.add_argument("--update-after", type=int, default=None,
+                       help="refit an object after this many ingested fixes")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="replay a trajectory workload against a running server"
+    )
+    loadgen.add_argument("target", help="server address as host:port")
+    loadgen.add_argument("--input", help="trajectory CSV to sample queries from")
+    loadgen.add_argument("--scenario", choices=SCENARIO_NAMES,
+                         help="synthesise the workload source instead of --input")
+    loadgen.add_argument("--subtrajectories", type=int, default=40,
+                         help="scenario size when using --scenario")
+    loadgen.add_argument("--period", type=int, default=300,
+                         help="scenario period when using --scenario")
+    loadgen.add_argument("--object-id", default="default")
+    loadgen.add_argument("--requests", type=int, default=500)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--window", type=int, default=4,
+                         help="recent-movement window length per query")
+    loadgen.add_argument("--horizon", type=int, default=5,
+                         help="maximum steps ahead a query asks about")
+    loadgen.add_argument("--distinct", type=int, default=50,
+                         help="distinct queries in the pool (cache hit control)")
+    loadgen.add_argument("-k", type=int, default=None)
+    loadgen.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -171,6 +223,81 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .core.fleet import FleetPredictionModel
+    from .core.persistence import load_fleet
+    from .serve import PredictionServer, PredictionService, ServeConfig
+
+    path = Path(args.model)
+    if path.is_dir():
+        fleet = load_fleet(path)
+    else:
+        model = load_model(path)
+        fleet = FleetPredictionModel(model.config)
+        fleet.adopt_object(args.object_id, model)
+    config = ServeConfig(
+        cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl if args.cache_ttl > 0 else None,
+        max_batch=args.max_batch,
+        batch_delay=args.batch_window_ms / 1000.0,
+        update_after=args.update_after,
+        enable_cache=args.cache_ttl > 0,
+        enable_batching=args.batch_window_ms > 0,
+    )
+    service = PredictionService(fleet, config)
+    server = PredictionServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving {len(fleet)} object(s) on "
+            f"http://{args.host}:{server.port} (Ctrl-C to stop)"
+        )
+        await server.run_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .serve.loadgen import build_workload, run_loadgen
+
+    host, _, port_text = args.target.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"bad target {args.target!r}; expected host:port")
+    if args.input:
+        trajectory = load_trajectory(args.input)
+    elif args.scenario:
+        dataset = make_dataset(
+            args.scenario, args.subtrajectories, args.period, seed=args.seed
+        )
+        trajectory = dataset.trajectory
+    else:
+        raise SystemExit("loadgen needs --input or --scenario")
+    workload = build_workload(
+        trajectory,
+        object_id=args.object_id,
+        requests=args.requests,
+        window=args.window,
+        max_horizon=args.horizon,
+        distinct=args.distinct,
+        k=args.k,
+        rng=np.random.default_rng(args.seed),
+    )
+    report = asyncio.run(
+        run_loadgen(host, int(port_text), workload, concurrency=args.concurrency)
+    )
+    print(report.format())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -179,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         "mine": _cmd_mine,
         "predict": _cmd_predict,
         "evaluate": _cmd_evaluate,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -6,7 +6,7 @@ from .fleet import FleetPredictionModel
 from .keys import KeyCodec, PatternKey
 from .model import HybridPredictionModel
 from .online import OnlineTracker
-from .persistence import load_model, save_model
+from .persistence import load_fleet, load_model, save_fleet, save_model
 from .patterns import (
     PatternMiningStats,
     TrajectoryPattern,
@@ -51,9 +51,11 @@ __all__ = [
     "discover_frequent_regions",
     "explain_query",
     "fqp_score",
+    "load_fleet",
     "load_model",
     "mine_trajectory_patterns",
     "premise_similarity",
     "premise_weights",
+    "save_fleet",
     "save_model",
 ]

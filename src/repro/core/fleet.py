@@ -6,10 +6,26 @@ at once.  :class:`FleetPredictionModel` manages a collection of
 independent :class:`~repro.core.model.HybridPredictionModel` instances
 behind one fit/update/predict interface keyed by object id, with shared
 configuration and aggregate introspection.
+
+Concurrency contract
+--------------------
+The fleet is safe for concurrent use from multiple threads (and from an
+asyncio server dispatching model passes to an executor):
+
+* the object registry (add/drop/lookup) serialises on an internal lock;
+* every per-object operation — ``fit_object``, ``update_object``,
+  ``predict``, ``predict_all`` — holds that object's reentrant lock, so
+  a refit can never interleave with a predict on the same object;
+* :meth:`object_lock` exposes the per-object lock so collaborators that
+  reach the model directly (e.g. an :class:`~repro.core.online.OnlineTracker`
+  wrapping ``fleet[object_id]``) can serialise on the *same* lock.
+
+Operations on different objects run fully in parallel.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -48,6 +64,36 @@ class FleetPredictionModel:
         self.config = config
         self.motion_factory = motion_factory
         self._models: dict[str, HybridPredictionModel] = {}
+        self._registry_lock = threading.RLock()
+        self._object_locks: dict[str, threading.RLock] = {}
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    # concurrency / telemetry
+    # ------------------------------------------------------------------
+    def object_lock(self, object_id: str) -> threading.RLock:
+        """The reentrant lock guarding ``object_id``'s model.
+
+        Created on demand; collaborators that touch ``fleet[object_id]``
+        outside the fleet's own methods must hold this lock (see the
+        module docstring's concurrency contract).
+        """
+        with self._registry_lock:
+            lock = self._object_locks.get(object_id)
+            if lock is None:
+                lock = self._object_locks[object_id] = threading.RLock()
+            return lock
+
+    def bind_metrics(self, registry) -> None:
+        """Instrument every current and future per-object model.
+
+        See :meth:`HybridPredictionModel.bind_metrics`; additionally
+        counts fleet-level queries as ``fleet_predict_total``.
+        """
+        with self._registry_lock:
+            self._metrics = registry
+            for model in self._models.values():
+                model.bind_metrics(registry)
 
     # ------------------------------------------------------------------
     # container protocol
@@ -60,7 +106,8 @@ class FleetPredictionModel:
 
     def object_ids(self) -> list[str]:
         """Tracked object ids, sorted."""
-        return sorted(self._models)
+        with self._registry_lock:
+            return sorted(self._models)
 
     def __getitem__(self, object_id: str) -> HybridPredictionModel:
         try:
@@ -76,31 +123,47 @@ class FleetPredictionModel:
         if not histories:
             raise ValueError("no object histories supplied")
         for object_id, trajectory in histories.items():
-            model = HybridPredictionModel(self.config, self.motion_factory)
-            model.fit(trajectory)
-            self._models[object_id] = model
+            self.fit_object(object_id, trajectory)
         return self
 
     def fit_object(self, object_id: str, trajectory: Trajectory) -> HybridPredictionModel:
         """Fit (or refit) a single object's model and return it."""
         model = HybridPredictionModel(self.config, self.motion_factory)
+        if self._metrics is not None:
+            model.bind_metrics(self._metrics)
         model.fit(trajectory)
-        self._models[object_id] = model
+        with self.object_lock(object_id):
+            self._models[object_id] = model
+        return model
+
+    def adopt_object(
+        self, object_id: str, model: HybridPredictionModel
+    ) -> HybridPredictionModel:
+        """Install an externally fitted model (e.g. loaded from disk)."""
+        if not model.is_fitted:
+            raise ValueError(f"cannot adopt unfitted model for {object_id!r}")
+        if self._metrics is not None:
+            model.bind_metrics(self._metrics)
+        with self.object_lock(object_id):
+            self._models[object_id] = model
         return model
 
     def update_object(
         self, object_id: str, new_positions: np.ndarray | Sequence[Sequence[float]]
     ) -> HybridPredictionModel:
         """Stream new movements into one object's model."""
-        model = self[object_id]
-        model.update(new_positions)
-        return model
+        with self.object_lock(object_id):
+            model = self[object_id]
+            model.update(new_positions)
+            return model
 
     def drop_object(self, object_id: str) -> None:
         """Stop tracking an object."""
-        if object_id not in self._models:
-            raise KeyError(f"unknown object {object_id!r}")
-        del self._models[object_id]
+        with self._registry_lock:
+            if object_id not in self._models:
+                raise KeyError(f"unknown object {object_id!r}")
+            del self._models[object_id]
+            self._object_locks.pop(object_id, None)
 
     # ------------------------------------------------------------------
     # prediction
@@ -113,7 +176,11 @@ class FleetPredictionModel:
         k: int | None = None,
     ) -> list[Prediction]:
         """Predictive query against one object's model."""
-        return self[object_id].predict(recent, query_time, k)
+        with self.object_lock(object_id):
+            predictions = self[object_id].predict(recent, query_time, k)
+        if self._metrics is not None:
+            self._metrics.counter("fleet_predict_total").inc()
+        return predictions
 
     def predict_all(
         self,
@@ -124,10 +191,13 @@ class FleetPredictionModel:
 
         Objects missing from ``recents`` are skipped; unknown ids raise.
         """
-        return {
-            object_id: self[object_id].predict_one(list(recent), query_time)
-            for object_id, recent in recents.items()
-        }
+        out: dict[str, Prediction] = {}
+        for object_id, recent in recents.items():
+            with self.object_lock(object_id):
+                out[object_id] = self[object_id].predict_one(
+                    list(recent), query_time
+                )
+        return out
 
     # ------------------------------------------------------------------
     # introspection

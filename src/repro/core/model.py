@@ -17,6 +17,7 @@ too weak to yield any pattern the model degrades to its motion function
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -66,6 +67,17 @@ class HybridPredictionModel:
         self._codec: KeyCodec | None = None
         self._tree: TrajectoryPatternTree | None = None
         self._predictor: HybridPredictor | None = None
+        self._metrics = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a metrics registry to instrument the predict hot path.
+
+        ``registry`` is duck-typed — any object with ``counter(name)`` and
+        ``histogram(name)`` returning ``.inc()`` / ``.observe(seconds)``
+        instruments works (:class:`repro.serve.metrics.MetricsRegistry`
+        is the in-tree implementation).  Pass ``None`` to detach.
+        """
+        self._metrics = registry
 
     # ------------------------------------------------------------------
     # training
@@ -224,7 +236,38 @@ class HybridPredictionModel:
         query_time: int,
         k: int | None = None,
     ) -> list[Prediction]:
-        """Answer a predictive query (see :meth:`HybridPredictor.predict`)."""
+        """Answer a predictive query (see :meth:`HybridPredictor.predict`).
+
+        When a metrics registry is bound (:meth:`bind_metrics`) each call
+        increments ``model_predict_total``, times itself into the
+        ``model_predict_seconds`` histogram, and counts the answering
+        method (``model_predict_fqp_total`` etc.).
+        """
+        registry = self._metrics
+        if registry is None:
+            return self._predict(recent, query_time, k)
+        start = time.perf_counter()
+        try:
+            predictions = self._predict(recent, query_time, k)
+        except Exception:
+            registry.counter("model_predict_errors_total").inc()
+            raise
+        registry.counter("model_predict_total").inc()
+        registry.histogram("model_predict_seconds").observe(
+            time.perf_counter() - start
+        )
+        if predictions:
+            registry.counter(
+                f"model_predict_{predictions[0].method}_total"
+            ).inc()
+        return predictions
+
+    def _predict(
+        self,
+        recent: Sequence[TimedPoint],
+        query_time: int,
+        k: int | None = None,
+    ) -> list[Prediction]:
         self._require_fitted()
         if self._predictor is not None:
             return self._predictor.predict(recent, query_time, k)

@@ -7,10 +7,22 @@ queries to a fitted model, and accumulates observed day fragments so the
 model can be refreshed with :meth:`flush_updates` once enough new data
 has arrived (the paper's "when a certain amount of new data is
 accumulated" trigger, made explicit).
+
+Concurrency contract
+--------------------
+Every public method serialises on a reentrant lock, so interleaved
+``observe`` / ``predict`` / ``flush_updates`` calls from multiple
+threads (or an asyncio server's executor) can never corrupt the window
+or observe a half-refreshed model.  When the wrapped model is shared
+with a :class:`~repro.core.fleet.FleetPredictionModel`, pass
+``lock=fleet.object_lock(object_id)`` so tracker and fleet serialise on
+the *same* lock — otherwise each would guard the model independently
+and writes could still interleave.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 from ..trajectory.point import TimedPoint
@@ -31,12 +43,18 @@ class OnlineTracker:
         Number of buffered-but-unflushed fixes that makes
         :attr:`update_due` true; ``None`` disables the suggestion (the
         caller can still flush manually).
+    lock:
+        Reentrant lock guarding all tracker state *and* the model calls
+        it makes.  Defaults to a private lock; pass the owning fleet's
+        ``object_lock(object_id)`` when the model is shared (see the
+        module docstring).
     """
 
     def __init__(
         self,
         model: HybridPredictionModel,
         update_after: int | None = None,
+        lock: threading.RLock | None = None,
     ):
         if not model.is_fitted:
             raise ValueError("OnlineTracker needs a fitted model")
@@ -44,6 +62,7 @@ class OnlineTracker:
             raise ValueError(f"update_after must be >= 1, got {update_after}")
         self.model = model
         self.update_after = update_after
+        self._lock = lock if lock is not None else threading.RLock()
         self._window: deque[TimedPoint] = deque(
             maxlen=model.config.recent_window
         )
@@ -54,48 +73,54 @@ class OnlineTracker:
     # ------------------------------------------------------------------
     def observe(self, t: int, x: float, y: float) -> None:
         """Ingest one fix; timestamps must be strictly increasing."""
-        if self._window and t <= self._window[-1].t:
-            raise ValueError(
-                f"fix at t={t} is not after the last observed "
-                f"t={self._window[-1].t}"
-            )
-        sample = TimedPoint(t, float(x), float(y))
-        self._window.append(sample)
-        self._pending.append(sample)
+        with self._lock:
+            if self._window and t <= self._window[-1].t:
+                raise ValueError(
+                    f"fix at t={t} is not after the last observed "
+                    f"t={self._window[-1].t}"
+                )
+            sample = TimedPoint(t, float(x), float(y))
+            self._window.append(sample)
+            self._pending.append(sample)
 
     @property
     def current_time(self) -> int:
         """Timestamp of the newest fix."""
-        if not self._window:
-            raise ValueError("no fixes observed yet")
-        return self._window[-1].t
+        with self._lock:
+            if not self._window:
+                raise ValueError("no fixes observed yet")
+            return self._window[-1].t
 
     @property
     def window(self) -> list[TimedPoint]:
         """The buffered recent-movement window (oldest first)."""
-        return list(self._window)
+        with self._lock:
+            return list(self._window)
 
     @property
     def pending_count(self) -> int:
         """Fixes observed since the last :meth:`flush_updates`."""
-        return len(self._pending)
+        with self._lock:
+            return len(self._pending)
 
     @property
     def update_due(self) -> bool:
         """Whether enough new data has accumulated to refresh the model."""
-        return (
-            self.update_after is not None
-            and len(self._pending) >= self.update_after
-        )
+        with self._lock:
+            return (
+                self.update_after is not None
+                and len(self._pending) >= self.update_after
+            )
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def predict(self, query_time: int, k: int | None = None) -> list[Prediction]:
         """Predictive query from the buffered window."""
-        if not self._window:
-            raise ValueError("no fixes observed yet")
-        return self.model.predict(self.window, query_time, k)
+        with self._lock:
+            if not self._window:
+                raise ValueError("no fixes observed yet")
+            return self.model.predict(self.window, query_time, k)
 
     def predict_in(self, horizon: int, k: int | None = None) -> list[Prediction]:
         """Convenience: predict ``horizon`` ticks after the newest fix."""
@@ -113,13 +138,14 @@ class OnlineTracker:
         the model's history verbatim; the model re-mines and inserts or
         rebuilds as needed (see :meth:`HybridPredictionModel.update`).
         """
-        if not self._pending:
-            return 0
-        positions = [[p.x, p.y] for p in self._pending]
-        self.model.update(positions)
-        flushed = len(self._pending)
-        self._pending = []
-        return flushed
+        with self._lock:
+            if not self._pending:
+                return 0
+            positions = [[p.x, p.y] for p in self._pending]
+            self.model.update(positions)
+            flushed = len(self._pending)
+            self._pending = []
+            return flushed
 
     def __repr__(self) -> str:
         return (

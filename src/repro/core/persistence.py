@@ -14,6 +14,11 @@ single ``.npz`` archive:
 The TPT is *not* stored — it rebuilds from the patterns in well under a
 second via the bottom-up bulk load, which keeps the format trivial and
 version-stable.
+
+A whole :class:`~repro.core.fleet.FleetPredictionModel` serialises as a
+**fleet snapshot**: a directory with one ``.npz`` per object plus a
+``manifest.json`` mapping object ids to files.  The serving layer
+(:mod:`repro.serve`) loads either format.
 """
 
 from __future__ import annotations
@@ -26,12 +31,15 @@ import numpy as np
 
 from ..trajectory.trajectory import Trajectory
 from .config import HPMConfig
+from .fleet import FleetPredictionModel
 from .model import HybridPredictionModel
 from .patterns import TrajectoryPattern
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "save_fleet", "load_fleet"]
 
 _FORMAT_VERSION = 1
+_FLEET_FORMAT_VERSION = 1
+_MANIFEST = "manifest.json"
 
 
 def save_model(model: HybridPredictionModel, path: str | Path) -> None:
@@ -164,3 +172,45 @@ def load_model(path: str | Path) -> HybridPredictionModel:
     model = HybridPredictionModel(config)
     model._restore(history, region_set, patterns)
     return model
+
+
+def save_fleet(fleet: FleetPredictionModel, directory: str | Path) -> None:
+    """Serialise a fleet to a snapshot directory.
+
+    Layout: ``manifest.json`` plus one ``object_NNNN.npz`` per object
+    (filenames are positional so arbitrary object ids never have to be
+    path-safe).  Existing snapshot files in the directory are replaced.
+    """
+    if len(fleet) == 0:
+        raise ValueError("cannot save an empty fleet")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    objects: dict[str, str] = {}
+    for index, object_id in enumerate(fleet.object_ids()):
+        filename = f"object_{index:04d}.npz"
+        save_model(fleet[object_id], directory / filename)
+        objects[object_id] = filename
+    manifest = {
+        "format_version": _FLEET_FORMAT_VERSION,
+        "config": dataclasses.asdict(fleet.config),
+        "objects": objects,
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+
+
+def load_fleet(directory: str | Path) -> FleetPredictionModel:
+    """Reload a fleet snapshot written by :func:`save_fleet`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.is_file():
+        raise ValueError(f"{directory} is not a fleet snapshot (no {_MANIFEST})")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FLEET_FORMAT_VERSION:
+        raise ValueError(
+            f"{directory}: unsupported fleet format "
+            f"{manifest.get('format_version')}"
+        )
+    fleet = FleetPredictionModel(HPMConfig(**manifest["config"]))
+    for object_id, filename in manifest["objects"].items():
+        fleet.adopt_object(object_id, load_model(directory / filename))
+    return fleet

@@ -1,0 +1,58 @@
+"""repro.serve — the asyncio prediction service.
+
+Turns the offline reproduction into a queryable system: a stdlib-only
+JSON-over-HTTP server (:mod:`~repro.serve.server`) over one or more
+fitted models, with per-object streaming ingest, request batching
+(:mod:`~repro.serve.batching`), an LRU+TTL prediction cache
+(:mod:`~repro.serve.cache`), operational metrics
+(:mod:`~repro.serve.metrics`), and a load generator
+(:mod:`~repro.serve.loadgen`).
+
+Run one from the CLI::
+
+    repro mine route.csv -o model.npz --period 24
+    repro serve model.npz --port 8080
+    repro loadgen 127.0.0.1:8080 --input route.csv --requests 500
+"""
+
+from .batching import RequestBatcher
+from .cache import PredictionCache
+from .handlers import ApiError, prediction_to_dict, render_predict_body
+from .loadgen import (
+    HttpClient,
+    LoadReport,
+    PredictQuery,
+    build_workload,
+    ingest_stream,
+    run_loadgen,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .server import PredictionServer, PredictionService, ServeConfig
+
+__all__ = [
+    "ApiError",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HttpClient",
+    "LoadReport",
+    "MetricsRegistry",
+    "PredictQuery",
+    "PredictionCache",
+    "PredictionServer",
+    "PredictionService",
+    "RequestBatcher",
+    "ServeConfig",
+    "build_workload",
+    "ingest_stream",
+    "prediction_to_dict",
+    "render_predict_body",
+    "run_loadgen",
+]

@@ -1,0 +1,284 @@
+"""Load generator: replay a trajectory workload against a live server.
+
+Closes the serving loop: ``repro mine`` fits a model, ``repro serve``
+exposes it, and ``repro loadgen`` (or :func:`run_loadgen` in-process)
+fires a realistic query stream at it and reports what an operator cares
+about — sustained requests/sec and the latency tail.
+
+The workload is drawn from a trajectory (the same CSV the model was
+mined from, or a freshly synthesised scenario): each query takes a
+``window``-long slice of consecutive fixes as the recent movements and
+asks for the location 1..``max_horizon`` steps past the slice.  Queries
+are sampled *with replacement* from a bounded pool of distinct slices —
+exactly how production traffic repeats itself — so the server's cache
+has something to hit; ``distinct=requests`` makes every query unique
+(cache-defeating worst case for A/B runs).
+
+Latencies are recorded raw and summarised exactly (no histogram error),
+which also cross-checks the server's bucket-estimated p95 at
+``/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trajectory.trajectory import Trajectory
+
+__all__ = [
+    "PredictQuery",
+    "LoadReport",
+    "HttpClient",
+    "build_workload",
+    "run_loadgen",
+    "ingest_stream",
+]
+
+
+@dataclass(frozen=True)
+class PredictQuery:
+    """One ``POST /predict`` call: a recent window and a future time."""
+
+    object_id: str
+    recent: tuple[tuple[int, float, float], ...]
+    query_time: int
+    k: int | None = None
+
+    def payload(self) -> dict:
+        body: dict = {
+            "object_id": self.object_id,
+            "recent": [list(fix) for fix in self.recent],
+            "query_time": self.query_time,
+        }
+        if self.k is not None:
+            body["k"] = self.k
+        return body
+
+
+@dataclass
+class LoadReport:
+    """Throughput/latency summary of one load-generation run."""
+
+    requests: int
+    errors: int
+    elapsed: float
+    cache_hits: int
+    latencies_ms: list[float] = field(repr=False)
+
+    @property
+    def throughput(self) -> float:
+        """Successful requests per second."""
+        ok = self.requests - self.errors
+        return ok / self.elapsed if self.elapsed > 0 else 0.0
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), p))
+
+    def format(self) -> str:
+        return (
+            f"{self.requests} requests in {self.elapsed:.2f}s "
+            f"({self.throughput:.0f} req/s), {self.errors} errors, "
+            f"{self.cache_hits} cache hits\n"
+            f"latency ms: p50={self.percentile(50):.2f} "
+            f"p95={self.percentile(95):.2f} p99={self.percentile(99):.2f} "
+            f"max={max(self.latencies_ms, default=0.0):.2f}"
+        )
+
+
+class HttpClient:
+    """Minimal keep-alive HTTP/1.1 client over one asyncio connection."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Send one request; returns ``(status, headers, body)``."""
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        response_body = (
+            await self._reader.readexactly(length) if length else b""
+        )
+        return status, headers, response_body
+
+
+def build_workload(
+    trajectory: Trajectory,
+    *,
+    object_id: str = "default",
+    requests: int = 500,
+    window: int = 4,
+    max_horizon: int = 5,
+    distinct: int = 50,
+    k: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[PredictQuery]:
+    """Sample a predict workload from a trajectory (see module docstring)."""
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if len(trajectory) < window:
+        raise ValueError(
+            f"trajectory of {len(trajectory)} fixes is shorter than the "
+            f"window ({window})"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    distinct = max(1, min(distinct, requests))
+
+    pool: list[PredictQuery] = []
+    positions = trajectory.positions
+    start_time = trajectory.start_time
+    for _ in range(distinct):
+        end = int(rng.integers(window - 1, len(trajectory)))
+        recent = tuple(
+            (start_time + i, float(positions[i, 0]), float(positions[i, 1]))
+            for i in range(end - window + 1, end + 1)
+        )
+        horizon = int(rng.integers(1, max_horizon + 1))
+        pool.append(
+            PredictQuery(
+                object_id=object_id,
+                recent=recent,
+                query_time=start_time + end + horizon,
+                k=k,
+            )
+        )
+    choices = rng.integers(0, len(pool), size=requests)
+    return [pool[i] for i in choices]
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    workload: list[PredictQuery],
+    concurrency: int = 8,
+) -> LoadReport:
+    """Fire ``workload`` at the server from ``concurrency`` connections."""
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    queue: asyncio.Queue[PredictQuery] = asyncio.Queue()
+    for query in workload:
+        queue.put_nowait(query)
+
+    latencies_ms: list[float] = []
+    counters = {"errors": 0, "cache_hits": 0}
+
+    async def worker() -> None:
+        client = HttpClient(host, port)
+        await client.connect()
+        try:
+            while True:
+                try:
+                    query = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                started = time.perf_counter()
+                try:
+                    status, headers, _ = await client.request(
+                        "POST", "/predict", query.payload()
+                    )
+                except (ConnectionError, OSError):
+                    counters["errors"] += 1
+                    await client.close()
+                    await client.connect()
+                    continue
+                latencies_ms.append((time.perf_counter() - started) * 1000.0)
+                if status != 200:
+                    counters["errors"] += 1
+                elif headers.get("x-cache") == "hit":
+                    counters["cache_hits"] += 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, len(workload) or 1))))
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        requests=len(workload),
+        errors=counters["errors"],
+        elapsed=elapsed,
+        cache_hits=counters["cache_hits"],
+        latencies_ms=latencies_ms,
+    )
+
+
+async def ingest_stream(
+    host: str,
+    port: int,
+    object_id: str,
+    fixes: list[tuple[int, float, float]],
+    chunk: int = 32,
+) -> int:
+    """POST a fix stream to ``/ingest`` in chunks; returns fixes accepted."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    client = HttpClient(host, port)
+    await client.connect()
+    accepted = 0
+    try:
+        for i in range(0, len(fixes), chunk):
+            batch = [list(fix) for fix in fixes[i : i + chunk]]
+            status, _, body = await client.request(
+                "POST",
+                "/ingest",
+                {"object_id": object_id, "fixes": batch},
+            )
+            if status != 200:
+                raise RuntimeError(
+                    f"/ingest returned {status}: {body.decode('utf-8', 'replace')}"
+                )
+            accepted += json.loads(body)["accepted"]
+    finally:
+        await client.close()
+    return accepted

@@ -1,0 +1,407 @@
+"""The asyncio prediction service: state, batching, cache, HTTP front.
+
+Two layers:
+
+* :class:`PredictionService` — the protocol-free application core.  It
+  owns the fleet, the per-object :class:`~repro.core.online.OnlineTracker`
+  ingest state, the prediction cache, the request batcher, and the
+  metrics registry.  Model passes are CPU work and run on the event
+  loop's default executor; all shared state is guarded by the fleet's
+  per-object locks (see the concurrency contract in
+  :mod:`repro.core.fleet`), so the loop stays responsive and correct.
+* :class:`PredictionServer` — a minimal stdlib HTTP/1.1 front-end over
+  ``asyncio.start_server`` (keep-alive, Content-Length framing; no
+  chunked encoding, TLS, or HTTP/2 — put a real proxy in front for
+  that).  Routing and wire format live in :mod:`repro.serve.handlers`.
+
+Typical embedding (the ``repro serve`` CLI does exactly this)::
+
+    fleet = FleetPredictionModel(config)
+    fleet.fit({"bus42": history})
+    service = PredictionService(fleet, ServeConfig())
+    server = PredictionServer(service, host="0.0.0.0", port=8080)
+    asyncio.run(server.run_forever())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from contextlib import suppress
+from dataclasses import dataclass
+
+from ..core.fleet import FleetPredictionModel
+from ..core.online import OnlineTracker
+from ..trajectory.point import TimedPoint
+from .batching import RequestBatcher
+from .cache import PredictionCache
+from .handlers import ApiError, route
+from .metrics import MetricsRegistry
+
+__all__ = ["ServeConfig", "PredictionService", "PredictionServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operator-tunable serving knobs (CLI flags map 1:1 onto these)."""
+
+    cache_entries: int = 4096
+    cache_ttl: float | None = 30.0
+    cache_quantum: float = 1.0
+    max_batch: int = 32
+    batch_delay: float = 0.002
+    update_after: int | None = None
+    enable_cache: bool = True
+    enable_batching: bool = True
+
+
+class PredictionService:
+    """Application core behind the HTTP handlers.
+
+    Parameters
+    ----------
+    fleet:
+        Fitted per-object models (a single-model deployment is a fleet
+        of one).  The service binds its metrics registry to the fleet,
+        instrumenting every model's predict hot path.
+    config:
+        Serving knobs; ``ServeConfig()`` defaults are sensible.
+    metrics:
+        Optional shared registry (a fresh one is created by default).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetPredictionModel,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.fleet = fleet
+        self.config = config or ServeConfig()
+        self.metrics = metrics or MetricsRegistry()
+        fleet.bind_metrics(self.metrics)
+        self.cache = PredictionCache(
+            max_entries=self.config.cache_entries,
+            ttl=self.config.cache_ttl,
+            quantum=self.config.cache_quantum,
+            metrics=self.metrics,
+        )
+        self.batcher = RequestBatcher(
+            self._execute_batch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.batch_delay,
+            metrics=self.metrics,
+        )
+        self.trackers: dict[str, OnlineTracker] = {}
+        self._refits: dict[str, asyncio.Task] = {}
+        self.metrics.gauge(
+            "serve_objects", help="objects with a fitted model"
+        ).set(len(fleet))
+
+    # ------------------------------------------------------------------
+    # predict path
+    # ------------------------------------------------------------------
+    async def predict(
+        self,
+        object_id: str,
+        recent: list[tuple[int, float, float]] | None,
+        query_time: int,
+        k: int | None = None,
+    ):
+        """Answer one predictive query; returns ``(predictions, cached)``."""
+        if object_id not in self.fleet:
+            raise ApiError(404, f"unknown object {object_id!r}")
+        if recent is not None:
+            window = [TimedPoint(t, x, y) for t, x, y in recent]
+        else:
+            tracker = self.trackers.get(object_id)
+            if tracker is None or not tracker.window:
+                raise ApiError(
+                    400,
+                    f"no recent movements supplied and object {object_id!r} "
+                    "has no ingested fixes",
+                )
+            window = tracker.window
+        self.metrics.counter("serve_predict_requests_total").inc()
+
+        key = self.cache.make_key(object_id, window, query_time, k)
+        if self.config.enable_cache:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit, True
+
+        request = (tuple(p.as_tuple() for p in window), query_time, k)
+        if self.config.enable_batching:
+            predictions = await self.batcher.submit(object_id, request)
+        else:
+            predictions = (
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._execute_batch, object_id, [request]
+                )
+            )[0]
+        if self.config.enable_cache:
+            self.cache.put(key, predictions)
+        return predictions, False
+
+    def _execute_batch(self, object_id: str, requests):
+        """One model pass for a whole batch (runs on the executor)."""
+        results = []
+        # One lock acquisition covers the whole batch; fleet.predict
+        # re-enters the same per-object RLock at no extra cost.
+        with self.fleet.object_lock(object_id):
+            for recent_tuple, query_time, k in requests:
+                window = [TimedPoint(t, x, y) for t, x, y in recent_tuple]
+                results.append(
+                    self.fleet.predict(object_id, window, query_time, k)
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # ingest path
+    # ------------------------------------------------------------------
+    async def ingest(
+        self, object_id: str, fixes: list[tuple[int, float, float]]
+    ) -> dict:
+        """Stream fixes into the object's tracker; maybe schedule a refit."""
+        if object_id not in self.fleet:
+            raise ApiError(404, f"unknown object {object_id!r}")
+        tracker = self.trackers.get(object_id)
+        if tracker is None:
+            tracker = OnlineTracker(
+                self.fleet[object_id],
+                update_after=self.config.update_after,
+                lock=self.fleet.object_lock(object_id),
+            )
+            self.trackers[object_id] = tracker
+        for t, x, y in fixes:
+            tracker.observe(t, x, y)
+        self.metrics.counter("serve_ingest_fixes_total").inc(len(fixes))
+        # Stale the object's cached answers: the window has moved.
+        self.cache.invalidate(object_id)
+
+        refit_scheduled = False
+        if tracker.update_due and object_id not in self._refits:
+            task = asyncio.get_running_loop().create_task(
+                self._refit(object_id, tracker)
+            )
+            self._refits[object_id] = task
+            refit_scheduled = True
+        return {
+            "object_id": object_id,
+            "accepted": len(fixes),
+            "pending": tracker.pending_count,
+            "window": len(tracker.window),
+            "refit_scheduled": refit_scheduled,
+        }
+
+    async def _refit(self, object_id: str, tracker: OnlineTracker) -> None:
+        """Background ``flush_updates`` (the paper's dynamic-update path)."""
+        start = time.perf_counter()
+        try:
+            flushed = await asyncio.get_running_loop().run_in_executor(
+                None, tracker.flush_updates
+            )
+        except Exception:
+            self.metrics.counter("serve_refit_errors_total").inc()
+            raise
+        finally:
+            self._refits.pop(object_id, None)
+        self.metrics.counter("serve_refits_total").inc()
+        self.metrics.counter("serve_refit_fixes_total").inc(flushed)
+        self.metrics.histogram("serve_refit_seconds").observe(
+            time.perf_counter() - start
+        )
+        # The refreshed corpus may answer differently.
+        self.cache.invalidate(object_id)
+
+    async def drain(self) -> None:
+        """Complete pending batches and refits (shutdown/tests)."""
+        await self.batcher.drain()
+        for task in list(self._refits.values()):
+            with suppress(Exception):
+                await task
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def objects_summary(self) -> list[dict]:
+        rows = []
+        for object_id in self.fleet.object_ids():
+            model = self.fleet[object_id]
+            tracker = self.trackers.get(object_id)
+            rows.append(
+                {
+                    "object_id": object_id,
+                    "patterns": model.pattern_count,
+                    "regions": len(model.regions_),
+                    "window": len(tracker.window) if tracker else 0,
+                    "pending": tracker.pending_count if tracker else 0,
+                }
+            )
+        return rows
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+_METRIC_PATHS = {"/predict", "/ingest", "/objects", "/healthz", "/metrics"}
+
+
+class PredictionServer:
+    """Keep-alive HTTP/1.1 front-end for a :class:`PredictionService`."""
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``port=0`` picks an ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop accepting, drain in-flight work, drop connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.drain()
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        for task in list(self._handlers):
+            task.cancel()
+        await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    async def run_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        metrics = self.service.metrics
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                started = time.perf_counter()
+                try:
+                    status, ctype, payload, extra = await route(
+                        self.service, method, path, body
+                    )
+                except Exception as exc:  # handler bug: answer, keep serving
+                    metrics.counter("serve_http_errors_total").inc()
+                    status, ctype, extra = 500, "application/json", {}
+                    payload = (
+                        b'{"error":"internal server error: '
+                        + type(exc).__name__.encode("ascii", "replace")
+                        + b'"}'
+                    )
+                metrics.counter("serve_http_requests_total").inc()
+                bare = path.split("?", 1)[0]
+                if bare in _METRIC_PATHS:
+                    metrics.counter(
+                        f"serve_http_requests_total_{bare.strip('/')}"
+                    ).inc()
+                metrics.histogram("serve_http_request_seconds").observe(
+                    time.perf_counter() - started
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self._write_response(
+                    writer, status, ctype, payload, extra, keep_alive
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown: end the connection quietly instead of
+            # letting the cancellation escape into asyncio's protocol
+            # callback (which would log it as an error).
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            with suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        extra_headers: dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in extra_headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)

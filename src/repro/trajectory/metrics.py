@@ -86,11 +86,14 @@ class ErrorSummary:
 def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
     """Build an :class:`ErrorSummary` from raw per-query errors."""
     arr = _as_array(errors)
+    maximum = float(arr.max())
+    # Pairwise summation can push the mean of near-identical values one
+    # ULP past the maximum; clamp so mean <= maximum always holds.
     return ErrorSummary(
         count=int(arr.size),
-        mean=float(arr.mean()),
+        mean=min(float(arr.mean()), maximum),
         median=float(np.median(arr)),
         rmse=float(math.sqrt(float((arr * arr).mean()))),
         p90=float(np.percentile(arr, 90)),
-        maximum=float(arr.max()),
+        maximum=maximum,
     )

@@ -103,3 +103,57 @@ class TestLifecycle:
         assert len(rows) == 3
         assert all(r["num_patterns"] > 0 for r in rows)
         assert fleet.total_patterns() == sum(r["num_patterns"] for r in rows)
+
+
+class TestConcurrency:
+    def test_interleaved_ingest_and_predict_threads(self, fleet):
+        """Hammer one object with concurrent updates and predicts.
+
+        Without the per-object lock the model's index rebuild races the
+        predictor and queries crash or read half-built state; with it,
+        every predict must return a well-formed answer.
+        """
+        import threading
+
+        _, base = make_history(0.0)
+        errors = []
+        stop = threading.Event()
+
+        def updater():
+            try:
+                for _ in range(5):
+                    fleet.update_object("obj0", base)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def predictor():
+            recent = [
+                TimedPoint(i, float(base[i][0]), float(base[i][1]))
+                for i in range(3)
+            ]
+            try:
+                while not stop.is_set():
+                    predictions = fleet.predict("obj0", recent, 8)
+                    assert predictions and predictions[0].method in (
+                        "fqp",
+                        "bqp",
+                        "motion",
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=updater)] + [
+            threading.Thread(target=predictor) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_object_lock_identity_is_stable(self, fleet):
+        lock = fleet.object_lock("obj0")
+        assert fleet.object_lock("obj0") is lock
+        assert fleet.object_lock("obj1") is not lock

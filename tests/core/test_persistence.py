@@ -109,3 +109,55 @@ class TestRoundTrip:
         assert loaded.pattern_count == 0
         recent = [TimedPoint(200 + i, float(i), 0.0) for i in range(8)]
         assert loaded.predict_one(recent, 212).method == "motion"
+
+
+class TestFleetSnapshot:
+    def test_round_trip(self, fitted_model, tmp_path):
+        from repro.core.fleet import FleetPredictionModel
+        from repro.core.persistence import load_fleet, save_fleet
+
+        model, base = fitted_model
+        fleet = FleetPredictionModel(model.config)
+        fleet.adopt_object("a/b weird id", model)
+        fleet.adopt_object("other", model)
+        snapshot = tmp_path / "fleet"
+        save_fleet(fleet, snapshot)
+        assert (snapshot / "manifest.json").is_file()
+
+        loaded = load_fleet(snapshot)
+        assert loaded.object_ids() == fleet.object_ids()
+        assert loaded.total_patterns() == fleet.total_patterns()
+
+        now = len(model.history_) + 2
+        recent = [
+            TimedPoint(now + i, float(base[i][0]), float(base[i][1]))
+            for i in range(3)
+        ]
+        direct = model.predict(recent, now + 6)
+        via_snapshot = loaded.predict("a/b weird id", recent, now + 6)
+        assert via_snapshot[0].location == direct[0].location
+        assert via_snapshot[0].method == direct[0].method
+
+    def test_empty_fleet_rejected(self, tmp_path):
+        from repro.core.fleet import FleetPredictionModel
+        from repro.core.persistence import save_fleet
+
+        with pytest.raises(ValueError, match="empty fleet"):
+            save_fleet(
+                FleetPredictionModel(period=10, distant_threshold=4),
+                tmp_path / "fleet",
+            )
+
+    def test_not_a_snapshot_rejected(self, tmp_path):
+        from repro.core.persistence import load_fleet
+
+        with pytest.raises(ValueError, match="not a fleet snapshot"):
+            load_fleet(tmp_path)
+
+    def test_adopt_requires_fitted(self):
+        from repro.core.fleet import FleetPredictionModel
+        from repro.core.model import HybridPredictionModel
+
+        fleet = FleetPredictionModel(period=10, distant_threshold=4)
+        with pytest.raises(ValueError, match="unfitted"):
+            fleet.adopt_object("x", HybridPredictionModel(period=10, distant_threshold=4))

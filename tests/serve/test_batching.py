@@ -1,0 +1,143 @@
+"""Unit tests for batch-window coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batching import RequestBatcher
+
+
+class Recorder:
+    """A batch executor that records every (key, requests) pass."""
+
+    def __init__(self, fail=False):
+        self.calls = []
+        self.fail = fail
+
+    def __call__(self, key, requests):
+        self.calls.append((key, list(requests)))
+        if self.fail:
+            raise RuntimeError("boom")
+        return [f"{key}:{r}" for r in requests]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_distinct_requests_share_one_pass(self):
+        recorder = Recorder()
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=10, max_delay=0.01)
+            return await asyncio.gather(
+                *(batcher.submit("obj", f"r{i}") for i in range(5))
+            )
+
+        results = run(scenario())
+        assert results == [f"obj:r{i}" for i in range(5)]
+        assert len(recorder.calls) == 1
+        assert recorder.calls[0] == ("obj", [f"r{i}" for i in range(5)])
+
+    def test_identical_requests_deduplicate(self):
+        recorder = Recorder()
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=10, max_delay=0.01)
+            results = await asyncio.gather(
+                *(batcher.submit("obj", "same") for _ in range(8))
+            )
+            return batcher, results
+
+        batcher, results = run(scenario())
+        assert results == ["obj:same"] * 8
+        # One unique request computed once; seven waiters coalesced.
+        assert recorder.calls == [("obj", ["same"])]
+        assert batcher.coalesced == 7
+        assert batcher.submitted == 8
+
+    def test_keys_batch_independently(self):
+        recorder = Recorder()
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=10, max_delay=0.01)
+            await asyncio.gather(
+                batcher.submit("a", "r"), batcher.submit("b", "r")
+            )
+
+        run(scenario())
+        assert sorted(key for key, _ in recorder.calls) == ["a", "b"]
+
+    def test_max_batch_flushes_early(self):
+        recorder = Recorder()
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=2, max_delay=60.0)
+            # With a 60 s window, only the size bound can flush these.
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("obj", "r1"), batcher.submit("obj", "r2")
+                ),
+                timeout=5.0,
+            )
+
+        assert run(scenario()) == ["obj:r1", "obj:r2"]
+        assert len(recorder.calls) == 1
+
+    def test_requests_after_flush_start_a_new_batch(self):
+        recorder = Recorder()
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=10, max_delay=0.001)
+            first = await batcher.submit("obj", "r1")
+            second = await batcher.submit("obj", "r2")
+            return first, second
+
+        assert run(scenario()) == ("obj:r1", "obj:r2")
+        assert len(recorder.calls) == 2
+
+    def test_executor_failure_propagates_to_all_waiters(self):
+        recorder = Recorder(fail=True)
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=10, max_delay=0.005)
+            results = await asyncio.gather(
+                batcher.submit("obj", "r1"),
+                batcher.submit("obj", "r2"),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_result_count_mismatch_is_an_error(self):
+        async def scenario():
+            batcher = RequestBatcher(
+                lambda key, requests: [], max_batch=10, max_delay=0.001
+            )
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                await batcher.submit("obj", "r1")
+
+        run(scenario())
+
+    def test_drain_flushes_pending_batches(self):
+        recorder = Recorder()
+
+        async def scenario():
+            batcher = RequestBatcher(recorder, max_batch=10, max_delay=60.0)
+            pending = asyncio.ensure_future(batcher.submit("obj", "r1"))
+            await asyncio.sleep(0)  # let submit enqueue
+            await batcher.drain()
+            return await pending
+
+        assert run(scenario()) == "obj:r1"
+        assert len(recorder.calls) == 1
+
+    def test_validation(self):
+        execute = lambda key, requests: []
+        with pytest.raises(ValueError):
+            RequestBatcher(execute, max_batch=0)
+        with pytest.raises(ValueError):
+            RequestBatcher(execute, max_delay=-1)

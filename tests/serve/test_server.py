@@ -1,0 +1,341 @@
+"""End-to-end serve tests: real sockets, real model, real bytes.
+
+Each test stands up a :class:`PredictionServer` on an ephemeral port
+inside ``asyncio.run``, drives it over HTTP with the loadgen client, and
+shuts it down cleanly.  The headline assertions mirror the subsystem's
+contract: served predictions are byte-identical to direct in-process
+``predict`` calls, the cache actually hits, and `/metrics` reports it
+all.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import FleetPredictionModel
+from repro.serve import (
+    HttpClient,
+    PredictionServer,
+    PredictionService,
+    ServeConfig,
+    build_workload,
+    ingest_stream,
+    render_predict_body,
+    run_loadgen,
+)
+
+from tests.serve.conftest import commuter_base
+
+
+def serve_test(fleet, config, scenario):
+    """Run ``scenario(service, server, client)`` against a live server."""
+
+    async def body():
+        service = PredictionService(fleet, config)
+        server = PredictionServer(service)
+        await server.start()
+        client = HttpClient("127.0.0.1", server.port)
+        try:
+            return await scenario(service, server, client)
+        finally:
+            await client.close()
+            await server.close()
+
+    return asyncio.run(body())
+
+
+def new_day_window(history, length=4):
+    """Fixes continuing the route on a fresh day after the history."""
+    base = commuter_base()
+    start = len(history)
+    return [
+        (start + i, float(base[i][0]) + 1.0, float(base[i][1]) + 1.0)
+        for i in range(length)
+    ]
+
+
+class TestEndpoints:
+    def test_healthz_and_objects(self, fleet, history):
+        async def scenario(service, server, client):
+            status, _, body = await client.request("GET", "/healthz")
+            assert status == 200
+            assert json.loads(body) == {"status": "ok", "objects": 1}
+
+            status, _, body = await client.request("GET", "/objects")
+            assert status == 200
+            rows = json.loads(body)["objects"]
+            assert rows[0]["object_id"] == "default"
+            assert rows[0]["patterns"] > 0
+
+        serve_test(fleet, ServeConfig(), scenario)
+
+    def test_error_paths(self, fleet):
+        async def scenario(service, server, client):
+            status, _, body = await client.request("GET", "/nope")
+            assert status == 404
+
+            status, _, body = await client.request("GET", "/predict")
+            assert status == 405
+
+            status, _, body = await client.request("POST", "/predict", {})
+            assert status == 400
+            assert "query_time" in json.loads(body)["error"]
+
+            status, _, body = await client.request(
+                "POST",
+                "/predict",
+                {"object_id": "ghost", "query_time": 10_000,
+                 "recent": [[9_990, 0.0, 0.0]]},
+            )
+            assert status == 404
+
+            # Query time in the past of the window -> model ValueError -> 400.
+            status, _, body = await client.request(
+                "POST",
+                "/predict",
+                {"object_id": "default", "query_time": 1,
+                 "recent": [[9_990, 0.0, 0.0]]},
+            )
+            assert status == 400
+
+        serve_test(fleet, ServeConfig(), scenario)
+
+
+class TestPredict:
+    def test_served_bytes_match_direct_predict(self, fleet, history):
+        """The acceptance bar: HTTP body == canonical direct-call bytes."""
+        recent = new_day_window(history)
+        query_time = recent[-1][0] + 3
+
+        async def scenario(service, server, client):
+            bodies = []
+            for k in (None, 3):
+                payload = {
+                    "object_id": "default",
+                    "recent": [list(f) for f in recent],
+                    "query_time": query_time,
+                }
+                if k is not None:
+                    payload["k"] = k
+                status, headers, body = await client.request(
+                    "POST", "/predict", payload
+                )
+                assert status == 200
+                bodies.append((k, headers, body))
+            return bodies
+
+        bodies = serve_test(fleet, ServeConfig(update_after=None), scenario)
+        from repro.trajectory.point import TimedPoint
+
+        window = [TimedPoint(t, x, y) for t, x, y in recent]
+        for k, headers, body in bodies:
+            direct = fleet["default"].predict(window, query_time, k)
+            assert body == render_predict_body("default", query_time, direct)
+        # Pattern-based answers (not just motion fallback) went over the wire.
+        assert b'"method":"fqp"' in bodies[0][2]
+
+    def test_cache_hit_on_repeat_and_header(self, fleet, history):
+        recent = new_day_window(history)
+        payload = {
+            "object_id": "default",
+            "recent": [list(f) for f in recent],
+            "query_time": recent[-1][0] + 3,
+        }
+
+        async def scenario(service, server, client):
+            _, first_headers, first_body = await client.request(
+                "POST", "/predict", payload
+            )
+            _, second_headers, second_body = await client.request(
+                "POST", "/predict", payload
+            )
+            assert first_headers["x-cache"] == "miss"
+            assert second_headers["x-cache"] == "hit"
+            assert first_body == second_body
+            assert service.cache.hits == 1
+
+        serve_test(fleet, ServeConfig(), scenario)
+
+    def test_batching_disabled_still_serves(self, fleet, history):
+        recent = new_day_window(history)
+        payload = {
+            "object_id": "default",
+            "recent": [list(f) for f in recent],
+            "query_time": recent[-1][0] + 3,
+        }
+
+        async def scenario(service, server, client):
+            status, _, body = await client.request("POST", "/predict", payload)
+            assert status == 200
+            assert service.batcher.batches == 0
+
+        serve_test(
+            fleet,
+            ServeConfig(enable_batching=False, enable_cache=False),
+            scenario,
+        )
+
+
+class TestIngest:
+    def test_ingest_feeds_tracker_and_serves_windowless_predicts(
+        self, fleet, history
+    ):
+        fixes = new_day_window(history, length=6)
+
+        async def scenario(service, server, client):
+            accepted = await ingest_stream(
+                "127.0.0.1", server.port, "default", fixes, chunk=4
+            )
+            assert accepted == len(fixes)
+
+            # Predict with no explicit window: the tracker supplies it.
+            status, _, body = await client.request(
+                "POST",
+                "/predict",
+                {"object_id": "default", "query_time": fixes[-1][0] + 3},
+            )
+            assert status == 200
+            tracker = service.trackers["default"]
+            assert tracker.pending_count == len(fixes)
+
+            payload = json.loads(body)
+            direct = fleet.predict(
+                "default", tracker.window, fixes[-1][0] + 3
+            )
+            assert payload["predictions"][0]["x"] == direct[0].location.x
+
+        serve_test(fleet, ServeConfig(update_after=None), scenario)
+
+    def test_ingest_invalidates_cache(self, fleet, history):
+        fixes = new_day_window(history, length=6)
+
+        async def scenario(service, server, client):
+            await ingest_stream(
+                "127.0.0.1", server.port, "default", fixes[:4]
+            )
+            payload = {"object_id": "default", "query_time": fixes[-1][0] + 5}
+            _, h1, _ = await client.request("POST", "/predict", payload)
+            _, h2, _ = await client.request("POST", "/predict", payload)
+            assert (h1["x-cache"], h2["x-cache"]) == ("miss", "hit")
+
+            # New fixes shift the window: the cached answer must die.
+            await ingest_stream(
+                "127.0.0.1", server.port, "default", fixes[4:]
+            )
+            _, h3, _ = await client.request("POST", "/predict", payload)
+            assert h3["x-cache"] == "miss"
+            assert service.cache.invalidations > 0
+
+        serve_test(fleet, ServeConfig(update_after=None), scenario)
+
+    def test_background_refit_runs_when_due(self, fleet, history):
+        fixes = new_day_window(history, length=12)
+
+        async def scenario(service, server, client):
+            status, _, body = await client.request(
+                "POST",
+                "/ingest",
+                {"object_id": "default", "fixes": [list(f) for f in fixes]},
+            )
+            assert status == 200
+            assert json.loads(body)["refit_scheduled"] is True
+            await service.drain()
+            tracker = service.trackers["default"]
+            assert tracker.pending_count == 0  # flushed into the model
+            snapshot = service.metrics.snapshot()
+            assert snapshot["serve_refits_total"]["value"] == 1
+            assert snapshot["serve_refit_fixes_total"]["value"] == len(fixes)
+            assert len(fleet["default"].history_) == len(history) + len(fixes)
+
+        serve_test(fleet, ServeConfig(update_after=10), scenario)
+
+    def test_out_of_order_fix_rejected(self, fleet, history):
+        fixes = new_day_window(history, length=2)
+
+        async def scenario(service, server, client):
+            await ingest_stream("127.0.0.1", server.port, "default", fixes)
+            status, _, body = await client.request(
+                "POST",
+                "/ingest",
+                {"object_id": "default", "fixes": [list(fixes[0])]},
+            )
+            assert status == 400
+            assert "not after" in json.loads(body)["error"]
+
+        serve_test(fleet, ServeConfig(), scenario)
+
+
+class TestLoadgenRoundTrip:
+    def test_500_requests_with_cache_hits_and_metrics(self, fleet, history):
+        """Acceptance: >= 500 predicts in one process, hit-rate > 0 at
+        /metrics, and spot-checked byte-identical serving."""
+        workload = build_workload(
+            history, requests=500, window=4, max_horizon=5, distinct=40
+        )
+
+        async def scenario(service, server, client):
+            report = await run_loadgen(
+                "127.0.0.1", server.port, workload, concurrency=8
+            )
+            status, _, metrics_body = await client.request("GET", "/metrics")
+            assert status == 200
+            return report, metrics_body.decode("utf-8")
+
+        report, metrics_text = serve_test(fleet, ServeConfig(), scenario)
+
+        assert report.requests == 500
+        assert report.errors == 0
+        assert report.cache_hits > 0
+        assert report.throughput > 0
+        assert report.percentile(50) <= report.percentile(95)
+
+        # Cache hits are reported at /metrics and match the client's view.
+        metrics = {}
+        for line in metrics_text.splitlines():
+            if line and not line.startswith("#"):
+                name, _, value = line.rpartition(" ")
+                metrics[name] = float(value)
+        assert metrics["serve_cache_hits_total"] == report.cache_hits
+        assert metrics["serve_cache_hits_total"] > 0
+        # Latency histograms counted every request and every model pass.
+        assert metrics["serve_http_request_seconds_count"] >= 500
+        assert metrics['serve_http_request_seconds_bucket{le="+Inf"}'] >= 500
+        assert metrics["model_predict_seconds_count"] > 0
+        assert (
+            metrics["model_predict_seconds_count"]
+            == metrics["fleet_predict_total"]
+        )
+        # Every served answer was either a cache hit or a model pass.
+        assert (
+            metrics["serve_cache_hits_total"]
+            + metrics["serve_cache_misses_total"]
+            == 500
+        )
+
+    def test_served_workload_matches_direct_calls(self, fleet, history):
+        """Every distinct workload query byte-compares to a direct call."""
+        workload = build_workload(
+            history, requests=40, window=4, max_horizon=5, distinct=10
+        )
+        distinct = {q.recent: q for q in workload}.values()
+
+        async def scenario(service, server, client):
+            out = []
+            for query in distinct:
+                status, _, body = await client.request(
+                    "POST", "/predict", query.payload()
+                )
+                assert status == 200
+                out.append((query, body))
+            return out
+
+        from repro.trajectory.point import TimedPoint
+
+        served = serve_test(fleet, ServeConfig(update_after=None), scenario)
+        for query, body in served:
+            window = [TimedPoint(t, x, y) for t, x, y in query.recent]
+            direct = fleet["default"].predict(window, query.query_time, query.k)
+            assert body == render_predict_body(
+                query.object_id, query.query_time, direct
+            )
