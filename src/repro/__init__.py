@@ -17,6 +17,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from .core import (
+    FleetFitError,
     FleetPredictionModel,
     HPMConfig,
     HybridPredictionModel,
@@ -49,6 +50,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundingBox",
+    "FleetFitError",
     "FleetPredictionModel",
     "FrequentRegion",
     "HPMConfig",

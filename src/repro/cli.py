@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the library's operational loop:
+Seven subcommands cover the library's operational loop:
 
 * ``synth``    — generate one of the paper's scenario datasets to CSV;
 * ``mine``     — fit an HPM on a trajectory CSV and save the model;
+* ``fit``      — fit a whole fleet (one object per trajectory CSV) in
+  parallel and write a fleet snapshot directory;
 * ``predict``  — answer a predictive query against a saved model;
 * ``evaluate`` — run an HPM-vs-RMF accuracy comparison on a dataset CSV;
 * ``serve``    — run the asyncio prediction service over a saved model
@@ -53,6 +55,35 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--min-confidence", type=float, default=0.3)
     mine.add_argument("--distant-threshold", type=int, default=None)
 
+    fit = sub.add_parser(
+        "fit", help="fit a fleet from trajectory CSVs (parallel) to a snapshot"
+    )
+    fit.add_argument(
+        "inputs",
+        nargs="+",
+        help="trajectory CSVs (t,x,y), one object per file; object id = file stem",
+    )
+    fit.add_argument(
+        "-o", "--output", required=True, help="fleet snapshot output directory"
+    )
+    fit.add_argument("--period", type=int, required=True)
+    fit.add_argument("--eps", type=float, default=30.0)
+    fit.add_argument("--min-pts", type=int, default=4)
+    fit.add_argument("--min-confidence", type=float, default=0.3)
+    fit.add_argument("--distant-threshold", type=int, default=None)
+    fit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel fit workers (default: serial)",
+    )
+    fit.add_argument(
+        "--executor",
+        choices=["process", "thread", "serial"],
+        default="process",
+        help="worker pool kind; 'thread' when fork is unavailable",
+    )
+
     predict = sub.add_parser("predict", help="query a saved model")
     predict.add_argument("model", help="model .npz from `repro mine`")
     predict.add_argument(
@@ -99,6 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush a batch early at this many distinct requests")
     serve.add_argument("--update-after", type=int, default=None,
                        help="refit an object after this many ingested fixes")
+    serve.add_argument("--warmup-workers", type=int, default=None,
+                       help="parallel workers for fleet-snapshot warm-up")
 
     loadgen = sub.add_parser(
         "loadgen", help="replay a trajectory workload against a running server"
@@ -158,6 +191,42 @@ def _cmd_mine(args) -> int:
     print(
         f"wrote {args.output}: {len(model.regions_)} frequent regions, "
         f"{model.pattern_count} trajectory patterns"
+    )
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from .core.fleet import FleetFitError, FleetPredictionModel
+    from .core.persistence import save_fleet
+
+    histories = {}
+    for input_path in args.inputs:
+        object_id = Path(input_path).stem
+        if object_id in histories:
+            raise SystemExit(
+                f"duplicate object id {object_id!r}; file stems must be unique"
+            )
+        histories[object_id] = load_trajectory(input_path)
+
+    def progress(object_id: str, done: int, total: int) -> None:
+        print(f"[{done}/{total}] fitted {object_id}")
+
+    fleet = FleetPredictionModel(_config_from(args))
+    try:
+        fleet.fit(
+            histories,
+            max_workers=args.workers,
+            executor=args.executor,
+            progress=progress,
+        )
+    except FleetFitError as exc:
+        for object_id, error in sorted(exc.failures.items()):
+            print(f"error: {object_id}: {error}", file=sys.stderr)
+        return 1
+    save_fleet(fleet, args.output)
+    print(
+        f"wrote {args.output}: {len(fleet)} object(s), "
+        f"{fleet.total_patterns()} trajectory patterns"
     )
     return 0
 
@@ -232,7 +301,7 @@ def _cmd_serve(args) -> int:
 
     path = Path(args.model)
     if path.is_dir():
-        fleet = load_fleet(path)
+        fleet = load_fleet(path, max_workers=args.warmup_workers)
     else:
         model = load_model(path)
         fleet = FleetPredictionModel(model.config)
@@ -304,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "synth": _cmd_synth,
         "mine": _cmd_mine,
+        "fit": _cmd_fit,
         "predict": _cmd_predict,
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,

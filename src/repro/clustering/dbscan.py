@@ -91,7 +91,13 @@ def dbscan(points: np.ndarray, eps: float, min_pts: int) -> DBSCANResult:
 
     cluster_id = 0
     for seed in range(n):
-        if labels[seed] != _UNVISITED or not core_mask[seed]:
+        if labels[seed] != _UNVISITED:
+            continue
+        if not core_mask[seed]:
+            # Classic DBSCAN: provisionally noise.  A later cluster
+            # expansion may still reach this point and relabel it as a
+            # border member (the NOISE -> border path below).
+            labels[seed] = NOISE
             continue
         # Breadth-first expansion from an unclaimed core point.
         labels[seed] = cluster_id

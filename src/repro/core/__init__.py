@@ -2,7 +2,7 @@
 
 from .config import HPMConfig
 from .explain import CandidateExplanation, QueryExplanation, explain_query
-from .fleet import FleetPredictionModel
+from .fleet import FleetFitError, FleetPredictionModel
 from .keys import KeyCodec, PatternKey
 from .model import HybridPredictionModel
 from .online import OnlineTracker
@@ -28,6 +28,7 @@ from .tpt import TrajectoryPatternTree
 
 __all__ = [
     "CandidateExplanation",
+    "FleetFitError",
     "FleetPredictionModel",
     "HPMConfig",
     "HybridPredictionModel",

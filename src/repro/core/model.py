@@ -79,6 +79,14 @@ class HybridPredictionModel:
         """
         self._metrics = registry
 
+    def __getstate__(self) -> dict:
+        # Registries hold threading locks and are process-local; a model
+        # crossing a pickle boundary (parallel fit workers, predict_all
+        # process scoring) travels bare and is re-bound on adoption.
+        state = self.__dict__.copy()
+        state["_metrics"] = None
+        return state
+
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------

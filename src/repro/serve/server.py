@@ -98,6 +98,26 @@ class PredictionService:
             "serve_objects", help="objects with a fitted model"
         ).set(len(fleet))
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot_dir,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        warmup_workers: int | None = None,
+    ) -> "PredictionService":
+        """Build a service from a fleet snapshot directory.
+
+        ``warmup_workers`` parallelises the per-object archive loads
+        (see :func:`repro.core.persistence.load_fleet`) so a large
+        snapshot warms up in a fraction of the serial time before the
+        first request is accepted.
+        """
+        from ..core.persistence import load_fleet
+
+        fleet = load_fleet(snapshot_dir, max_workers=warmup_workers)
+        return cls(fleet, config, metrics)
+
     # ------------------------------------------------------------------
     # predict path
     # ------------------------------------------------------------------

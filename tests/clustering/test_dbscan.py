@@ -127,3 +127,56 @@ class TestProperties:
         low = dbscan(arr, eps=eps, min_pts=2)
         high = dbscan(arr, eps=eps, min_pts=5)
         assert high.core_mask.sum() <= low.core_mask.sum()
+
+
+class TestBorderPoints:
+    """Edge cases around border points (non-core members of a cluster)."""
+
+    # Two four-point square clusters whose cores sit > eps apart, plus a
+    # single border point within eps of exactly one core in each: its
+    # neighbourhood is {self, a2, b1} = 3 < min_pts=4, so it is a border
+    # point reachable from *both* clusters but can density-merge neither.
+    A = [(0.0, 0.0), (0.6, 0.0), (0.0, 0.6), (0.6, 0.6)]
+    B = [(2.4, 0.0), (3.0, 0.0), (2.4, 0.6), (3.0, 0.6)]
+    P = (1.5, 0.0)
+
+    def test_shared_border_point_goes_to_first_discovered_cluster(self):
+        res = dbscan(np.array(self.A + self.B + [self.P]), eps=1.0, min_pts=4)
+        assert res.num_clusters == 2
+        p = len(self.A) + len(self.B)
+        assert not res.core_mask[p]
+        # A's seed (index 0) expands first, so cluster 0 claims P.
+        assert res.labels[p] == 0
+        assert set(res.labels[: len(self.A)]) == {0}
+        assert set(res.labels[len(self.A) : p]) == {1}
+
+    def test_claim_is_deterministic_under_reordering(self):
+        """Whichever cluster is discovered first owns the shared border."""
+        res = dbscan(np.array(self.B + self.A + [self.P]), eps=1.0, min_pts=4)
+        p = len(self.A) + len(self.B)
+        # B now seeds cluster 0 and claims P.
+        assert res.labels[p] == 0
+        assert set(res.labels[: len(self.B)]) == {0}
+        assert set(res.labels[len(self.B) : p]) == {1}
+
+    def test_noise_to_border_relabel(self):
+        """A border point visited before its cluster's cores is first
+        marked NOISE by the seed loop, then relabelled during expansion."""
+        far_noise = (50.0, 50.0)
+        pts = np.array([self.P, far_noise] + self.A + self.B)
+        res = dbscan(pts, eps=1.0, min_pts=4)
+        assert res.num_clusters == 2
+        assert not res.core_mask[0]
+        assert res.labels[0] == 0  # relabelled from provisional NOISE
+        assert res.labels[1] == NOISE  # genuine noise stays noise
+
+    def test_relabel_path_matches_core_first_ordering(self):
+        """Point order must not change the partition, only cluster ids."""
+        first = dbscan(np.array(self.A + self.B + [self.P]), eps=1.0, min_pts=4)
+        last = dbscan(np.array([self.P] + self.A + self.B), eps=1.0, min_pts=4)
+        # Same member sets for the cluster that owns A and P.
+        a_cluster_first = {tuple((self.A + self.B + [self.P])[i])
+                           for i in first.members(0)}
+        a_cluster_last = {tuple(([self.P] + self.A + self.B)[i])
+                          for i in last.members(0)}
+        assert a_cluster_first == a_cluster_last == set(self.A) | {self.P}

@@ -75,3 +75,46 @@ class TestGridIndex:
                     assert j in got
                 else:
                     assert j not in got
+
+
+class TestNegativeCoordinates:
+    """Queries straddling cell 0: floor-based cell maths must keep
+    negative coordinates in their own cells, not mirror them onto the
+    positive side (the int() truncation bug)."""
+
+    def test_neighbors_across_the_origin(self):
+        # (-0.3, 0) lives in cell (-1, 0), (0.3, 0) in cell (0, 0);
+        # they are 0.6 < eps apart and must see each other.
+        pts = np.array([[-0.3, 0.0], [0.3, 0.0]])
+        idx = GridIndex(pts, eps=1.0)
+        assert set(idx.neighbors(0).tolist()) == {0, 1}
+        assert set(idx.neighbors(1).tolist()) == {0, 1}
+
+    def test_neighbors_of_point_near_negative_boundary(self):
+        pts = np.array([[-0.3, 0.0], [0.3, 0.0], [-1.9, 0.0]])
+        idx = GridIndex(pts, eps=1.0)
+        # Query just left of the origin: both straddling points, not the
+        # far-left one (distance 1.899 > eps).
+        got = set(idx.neighbors_of_point(-0.001, 0.0).tolist())
+        assert got == {0, 1}
+
+    def test_count_within_negative_quadrant(self):
+        pts = np.array([[-0.5, -0.5], [-1.5, -1.5], [0.5, 0.5]])
+        idx = GridIndex(pts, eps=1.0)
+        assert idx.count_within(-0.5, -0.5) == 1
+        assert idx.count_within(-1.0, -1.0) == 2
+
+    def test_point_exactly_on_negative_cell_edge(self):
+        pts = np.array([[-1.0, 0.0], [-0.1, 0.0], [-1.9, 0.0]])
+        idx = GridIndex(pts, eps=1.0)
+        got = set(idx.neighbors(0).tolist())
+        assert got == {0, 1, 2}
+
+    def test_mirrored_points_are_not_conflated(self):
+        # (-1.4, 0) is 1.8 from (0.4, 0): with floor-based cells they are
+        # two cells apart and correctly invisible to each other, whereas
+        # truncation would fold cell -1 onto 0 and bring them in range.
+        pts = np.array([[-1.4, 0.0], [0.4, 0.0]])
+        idx = GridIndex(pts, eps=1.0)
+        assert set(idx.neighbors(0).tolist()) == {0}
+        assert set(idx.neighbors(1).tolist()) == {1}

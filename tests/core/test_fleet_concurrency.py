@@ -1,0 +1,196 @@
+"""Regression tests for the fleet concurrency contract.
+
+One test per fixed bug:
+
+* unknown-id operations must not mint (and leak) lock-table entries;
+* registry read paths (``len``, ``in``, ``summary``, ``total_patterns``)
+  must survive a concurrent ``drop_object``;
+* concurrent refits of the same object must serialise fit-and-install,
+  so a staler fit can never overwrite a fresher one.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import HPMConfig
+from repro.core.fleet import FleetPredictionModel
+from repro.core.model import HybridPredictionModel
+from repro.trajectory import TimedPoint, Trajectory
+
+PERIOD = 10
+
+
+def make_history(route_y: float, num_subs=15, period=PERIOD, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.column_stack(
+        [80.0 * np.arange(period), np.full(period, route_y)]
+    )
+    blocks = [base + rng.normal(0, 0.8, base.shape) for _ in range(num_subs)]
+    return Trajectory(np.vstack(blocks))
+
+
+@pytest.fixture
+def fleet():
+    fleet = FleetPredictionModel(
+        HPMConfig(
+            period=PERIOD, eps=5.0, min_pts=4, distant_threshold=4, recent_window=3
+        )
+    )
+    fleet.fit({f"obj{i}": make_history(400.0 * i, seed=i) for i in range(3)})
+    return fleet
+
+
+class TestLockTableLeak:
+    def test_unknown_id_operations_leave_lock_table_unchanged(self, fleet):
+        before = dict(fleet._object_locks)
+        recent = [TimedPoint(t, 80.0 * t, 0.0) for t in range(3)]
+        with pytest.raises(KeyError, match="ghost"):
+            fleet.predict("ghost", recent, 5)
+        with pytest.raises(KeyError, match="ghost"):
+            fleet.update_object("ghost", [[0.0, 0.0]])
+        with pytest.raises(KeyError, match="ghost"):
+            fleet.object_lock("ghost")
+        with pytest.raises(KeyError, match="ghost"):
+            fleet.predict_all({"ghost": recent}, 5)
+        assert fleet._object_locks == before
+
+    def test_misbehaving_client_storm_does_not_grow_lock_table(self, fleet):
+        before = len(fleet._object_locks)
+        for i in range(500):
+            with pytest.raises(KeyError):
+                fleet.object_lock(f"bogus-{i}")
+        assert len(fleet._object_locks) == before
+
+    def test_registered_objects_still_get_locks(self, fleet):
+        lock = fleet.object_lock("obj0")
+        assert fleet.object_lock("obj0") is lock
+        assert fleet.object_lock("obj1") is not lock
+
+
+class TestReadPathsUnderDrop:
+    def test_summary_during_concurrent_drop_does_not_raise(self, fleet):
+        """Drop/re-adopt in one thread while another summarises."""
+        model = fleet["obj0"]
+        for i in range(50):
+            fleet.adopt_object(f"extra{i:03d}", model)
+        errors = []
+        stop = threading.Event()
+
+        def churn():
+            try:
+                for _ in range(20):
+                    for i in range(50):
+                        fleet.drop_object(f"extra{i:03d}")
+                    for i in range(50):
+                        fleet.adopt_object(f"extra{i:03d}", model)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    rows = fleet.summary()
+                    assert all(r["num_patterns"] >= 0 for r in rows)
+                    assert fleet.total_patterns() >= 0
+                    assert len(fleet) >= 3
+                    assert "obj0" in fleet
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestRefitSerialisation:
+    def test_concurrent_same_object_refits_never_interleave(
+        self, fleet, monkeypatch
+    ):
+        """Two refits of one object must run fit+install back to back.
+
+        Pre-fix, both fits ran concurrently outside the lock and the
+        one that *finished* last won the install — so a slow, staler
+        fit silently overwrote a fresher model.  Post-fix the whole
+        fit-and-install serialises on the object lock.
+        """
+        events = []
+        events_lock = threading.Lock()
+        first_entered = threading.Event()
+        real_fit = HybridPredictionModel.fit
+
+        def instrumented_fit(self, trajectory):
+            with events_lock:
+                events.append(("start", id(self)))
+            if not first_entered.is_set():
+                first_entered.set()
+                time.sleep(0.15)  # slow first fit: pre-fix, it loses the race
+            result = real_fit(self, trajectory)
+            with events_lock:
+                events.append(("end", id(self)))
+            return result
+
+        monkeypatch.setattr(HybridPredictionModel, "fit", instrumented_fit)
+
+        slow = make_history(0.0, seed=11)
+        fast = make_history(0.0, seed=22)
+        installed = {}
+
+        def refit(name, trajectory):
+            installed[name] = fleet.fit_object("obj0", trajectory)
+
+        t_slow = threading.Thread(target=refit, args=("slow", slow))
+        t_slow.start()
+        first_entered.wait()
+        t_fast = threading.Thread(target=refit, args=("fast", fast))
+        t_fast.start()
+        t_slow.join()
+        t_fast.join()
+
+        # Strictly serialised: start/end pairs never interleave.
+        assert [kind for kind, _ in events] == ["start", "end", "start", "end"]
+        assert events[0][1] == events[1][1]
+        assert events[2][1] == events[3][1]
+        # The installed model is the one whose fit ran last — never a
+        # staler fit that merely finished later.
+        assert id(fleet["obj0"]) == events[3][1]
+
+    def test_different_objects_fit_concurrently(self, fleet, monkeypatch):
+        """The per-object serialisation must not globalise fitting."""
+        active = {"now": 0, "max": 0}
+        gauge_lock = threading.Lock()
+        real_fit = HybridPredictionModel.fit
+
+        def gauged_fit(self, trajectory):
+            with gauge_lock:
+                active["now"] += 1
+                active["max"] = max(active["max"], active["now"])
+            time.sleep(0.05)
+            try:
+                return real_fit(self, trajectory)
+            finally:
+                with gauge_lock:
+                    active["now"] -= 1
+
+        monkeypatch.setattr(HybridPredictionModel, "fit", gauged_fit)
+        threads = [
+            threading.Thread(
+                target=fleet.fit_object,
+                args=(f"obj{i}", make_history(400.0 * i, seed=30 + i)),
+            )
+            for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert active["max"] >= 2

@@ -122,3 +122,55 @@ class TestEvaluate:
         out = capsys.readouterr().out
         assert "HPM: mean error" in out
         assert "RMF: mean error" in out
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fleet_csvs(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("fit")
+        paths = []
+        for scenario, seed in (("bike", 1), ("cow", 2)):
+            path = directory / f"{scenario}.csv"
+            code = main(
+                ["synth", scenario, "-o", str(path), "--subtrajectories",
+                 "15", "--period", "30", "--seed", str(seed)]
+            )
+            assert code == 0
+            paths.append(path)
+        return paths
+
+    def test_writes_loadable_snapshot(self, fleet_csvs, tmp_path, capsys):
+        from repro.core.persistence import load_fleet
+
+        snapshot = tmp_path / "snapshot"
+        code = main(
+            ["fit", *map(str, fleet_csvs), "-o", str(snapshot), "--period",
+             "30", "--workers", "2", "--executor", "thread"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[2/2]" in out  # progress hook reached the last object
+        assert "2 object(s)" in out
+        fleet = load_fleet(snapshot, max_workers=2)
+        assert fleet.object_ids() == ["bike", "cow"]
+        assert fleet.total_patterns() > 0
+
+    def test_bad_trajectory_names_object(self, fleet_csvs, tmp_path, capsys):
+        short = tmp_path / "stunted.csv"
+        short.write_text("t,x,y\n0,0.0,0.0\n1,1.0,1.0\n")
+        code = main(
+            ["fit", str(fleet_csvs[0]), str(short), "-o",
+             str(tmp_path / "snap"), "--period", "30", "--workers", "2",
+             "--executor", "thread"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "stunted" in err
+        assert not (tmp_path / "snap").exists()
+
+    def test_duplicate_stems_rejected(self, fleet_csvs, tmp_path):
+        with pytest.raises(SystemExit, match="unique"):
+            main(
+                ["fit", str(fleet_csvs[0]), str(fleet_csvs[0]), "-o",
+                 str(tmp_path / "snap"), "--period", "30"]
+            )

@@ -339,3 +339,17 @@ class TestLoadgenRoundTrip:
             assert body == render_predict_body(
                 query.object_id, query.query_time, direct
             )
+
+
+class TestSnapshotWarmup:
+    def test_from_snapshot_parallel_warmup(self, fleet, tmp_path):
+        """from_snapshot with warm-up workers serves the same fleet."""
+        from repro.core.persistence import save_fleet
+        from repro.serve import PredictionService
+
+        snapshot = tmp_path / "snapshot"
+        save_fleet(fleet, snapshot)
+        service = PredictionService.from_snapshot(snapshot, warmup_workers=2)
+        assert service.fleet.object_ids() == fleet.object_ids()
+        assert service.fleet.total_patterns() == fleet.total_patterns()
+        assert service.metrics.gauge("serve_objects").value == len(fleet)
