@@ -1,0 +1,439 @@
+"""Query-path A/B: prepared plans + caches vs the pre-overhaul algorithm.
+
+PR 4 rebuilt the query path around :class:`repro.core.plan.PreparedQuery`
+(per-window work hoisted out of the per-query loop), cached premise-weight
+tables, a consequence-offset index on the TPT, and a locate memo on the
+region set — all under a byte-identity contract.  This bench holds the
+contract to account: a ``LegacyPredictor`` re-implements the old per-call
+algorithm exactly (uncached region mapping via per-region KD queries,
+inline weight recomputation, full tree descents per round, a fresh motion
+fit per query, full sort + slice) and both engines answer the same
+workloads; their prediction streams are fingerprinted with SHA-256 and
+must match bit for bit.
+
+Two modes are measured:
+
+* **single-query** — independent ``predict(recent, tq, k=3)`` calls over a
+  pool of windows and mixed FQP/BQP/motion horizons (the serve hot path);
+* **trajectory-sweep** — ``predict_trajectory`` over a horizon crossing
+  the distant-time threshold (the ``/predict_trajectory`` and eval paths).
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_predict.py           # full
+    PYTHONPATH=src python benchmarks/bench_predict.py --smoke   # CI-sized
+
+Writes ``BENCH_predict.json``: p50/p95 latency, qps and speedup per mode,
+plus the fingerprints.  Exits 1 if the engines disagree on any byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro import HPMConfig, TimedPoint
+from repro.core.model import HybridPredictionModel
+from repro.core.plan import Prediction
+from repro.core.similarity import (
+    WEIGHT_FUNCTIONS,
+    bqp_score,
+    consequence_similarity,
+    fqp_score,
+)
+from repro.datagen import make_dataset
+from repro.motion.linear import LinearMotionFunction
+from repro.signature import bitset
+
+SINGLE_K = 3
+
+
+# ----------------------------------------------------------------------
+# the legacy engine: the pre-PR-4 per-call algorithm, verbatim
+# ----------------------------------------------------------------------
+def legacy_premise_weights(num_ones: int, kind: str) -> list[float]:
+    """The old uncached ``premise_weights`` body — recomputed every call."""
+    raw = WEIGHT_FUNCTIONS[kind]
+    values = [raw(i) for i in range(1, num_ones + 1)]
+    total = sum(values)
+    return [v / total for v in values]
+
+
+def legacy_premise_similarity(rk: int, rkq: int, kind: str) -> float:
+    """Equation 1 without weight-table caching (the old hot-path cost)."""
+    n = bitset.size(rk)
+    if n == 0:
+        return 0.0
+    weights = legacy_premise_weights(n, kind)
+    common = rk & rkq
+    score = 0.0
+    for bit_index in bitset.iter_set_bits(common):
+        rank = bitset.position_of_bit(rk, bit_index)
+        score += weights[rank - 1]
+    return score
+
+
+class LegacyPredictor:
+    """The query path as it was before the overhaul.
+
+    Per call: the recent window is re-mapped to regions with uncached
+    per-region KD queries, the premise key re-encoded, candidates fetched
+    by full tree descent (per BQP enlargement round), similarities scored
+    with freshly recomputed weight vectors, ranked by full sort + slice,
+    and the motion fallback refitted from scratch.
+    """
+
+    def __init__(self, model: HybridPredictionModel):
+        predictor = model.predictor_
+        assert predictor is not None, "bench needs a pattern-bearing model"
+        self.regions = predictor.regions
+        self.codec = predictor.codec
+        self.tree = predictor.tree
+        self.config = predictor.config
+        self.motion_factory = predictor.motion_factory
+
+    def predict(
+        self, recent: Sequence[TimedPoint], query_time: int, k: int | None = None
+    ) -> list[Prediction]:
+        recent = list(recent)
+        if not recent:
+            raise ValueError("recent movements must be non-empty")
+        k = self.config.top_k if k is None else k
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        tc = recent[-1].t
+        if query_time <= tc:
+            raise ValueError(
+                f"query time {query_time} must be after the current time {tc}"
+            )
+        if query_time - tc >= self.config.distant_threshold:
+            return self.backward_query(recent, query_time, k)
+        return self.forward_query(recent, query_time, k)
+
+    def map_recent_to_regions(self, recent: Sequence[TimedPoint]) -> list:
+        window = list(recent)[-self.config.recent_window :]
+        seen: list = []
+        for sample in window:
+            region = self.regions.locate_uncached(
+                (sample.x, sample.y), sample.t % self.config.period
+            )
+            if region is not None and region not in seen:
+                seen.append(region)
+        return seen
+
+    def forward_query(
+        self, recent: Sequence[TimedPoint], query_time: int, k: int
+    ) -> list[Prediction]:
+        recent_regions = self.map_recent_to_regions(recent)
+        query_key = self.codec.encode_query(
+            recent_regions, query_time % self.config.period
+        )
+        candidates = self.tree.search_candidates_descent(query_key)
+        if not candidates:
+            return [self._motion_prediction(recent, query_time)]
+        kind = self.config.weight_function
+        scored = []
+        for pattern, key in candidates:
+            sr = legacy_premise_similarity(key.premise_key, query_key.premise_key, kind)
+            scored.append((fqp_score(sr, pattern.confidence), pattern))
+        scored.sort(key=lambda sp: (-sp[0], -sp[1].confidence, -sp[1].support))
+        return [
+            Prediction(
+                location=pattern.consequence.center,
+                method="fqp",
+                score=score,
+                pattern=pattern,
+            )
+            for score, pattern in scored[:k]
+        ]
+
+    def backward_query(
+        self, recent: Sequence[TimedPoint], query_time: int, k: int
+    ) -> list[Prediction]:
+        tc = recent[-1].t
+        recent_regions = self.map_recent_to_regions(recent)
+        query_key = self.codec.encode_query(
+            recent_regions, query_time % self.config.period
+        )
+        kind = self.config.weight_function
+        period = self.config.period
+        t_eps = self.config.time_relaxation
+        i = 1
+        while True:
+            relaxation = i * t_eps
+            offsets = {
+                t % period
+                for t in range(query_time - relaxation, query_time + relaxation + 1)
+            }
+            mask = self.codec.consequence_mask(offsets)
+            candidates = self.tree.search_by_consequence_descent(mask)
+            if candidates:
+                horizon = query_time - tc
+                scored = []
+                for pattern, key in candidates:
+                    sr = legacy_premise_similarity(
+                        key.premise_key, query_key.premise_key, kind
+                    )
+                    diff = abs(pattern.consequence_offset - query_time % period) % period
+                    sc = consequence_similarity(min(diff, period - diff), relaxation)
+                    scored.append(
+                        (
+                            bqp_score(
+                                sr,
+                                sc,
+                                pattern.confidence,
+                                self.config.distant_threshold,
+                                horizon,
+                            ),
+                            pattern,
+                        )
+                    )
+                scored.sort(key=lambda sp: (-sp[0], -sp[1].confidence, -sp[1].support))
+                return [
+                    Prediction(
+                        location=pattern.consequence.center,
+                        method="bqp",
+                        score=score,
+                        pattern=pattern,
+                    )
+                    for score, pattern in scored[:k]
+                ]
+            i += 1
+            if query_time - i * t_eps <= tc:
+                return [self._motion_prediction(recent, query_time)]
+
+    def _motion_prediction(
+        self, recent: Sequence[TimedPoint], query_time: int
+    ) -> Prediction:
+        window = list(recent)[-self.config.recent_window :]
+        try:
+            func = self.motion_factory()
+            func.fit(window)
+            return Prediction(location=func.predict(query_time), method="motion")
+        except ValueError:
+            pass
+        if len(window) >= 2:
+            try:
+                linear = LinearMotionFunction()
+                linear.fit(window)
+                return Prediction(location=linear.predict(query_time), method="motion")
+            except ValueError:
+                pass
+        return Prediction(location=window[-1].point, method="motion")
+
+    def predict_trajectory(
+        self, recent: Sequence[TimedPoint], t_from: int, t_to: int, step: int = 1
+    ) -> list[tuple[int, Prediction]]:
+        return [
+            (t, self.predict(recent, t, k=1)[0])
+            for t in range(t_from, t_to + 1, step)
+        ]
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def build_model(subtrajectories: int, period: int) -> HybridPredictionModel:
+    dataset = make_dataset("bike", subtrajectories, period, seed=0)
+    config = HPMConfig(
+        period=period,
+        eps=60.0,
+        min_pts=4,
+        min_confidence=0.3,
+        distant_threshold=max(2, period // 5),
+        recent_window=4,
+    )
+    model = HybridPredictionModel(config).fit(dataset.trajectory)
+    assert model.predictor_ is not None, "dataset produced no patterns"
+    return model
+
+
+def build_windows(
+    model: HybridPredictionModel, count: int
+) -> list[list[TimedPoint]]:
+    """Recent windows cut from the training trajectory at varied phases.
+
+    Timestamps are aligned so sample offsets match the source positions
+    (the history length is a multiple of the period).
+    """
+    positions = model.history_.positions
+    width = model.config.recent_window
+    windows = []
+    for w in range(count):
+        start = (w * 7) % (len(positions) - width)
+        t0 = len(positions) + start
+        windows.append(
+            [
+                TimedPoint(t0 + j, float(x), float(y))
+                for j, (x, y) in enumerate(positions[start : start + width])
+            ]
+        )
+    return windows
+
+
+def single_query_workload(
+    model: HybridPredictionModel, windows: list[list[TimedPoint]]
+) -> list[tuple[list[TimedPoint], int]]:
+    d = model.config.distant_threshold
+    horizons = (1, 2, max(1, d - 1), d, d + 3, 2 * d + 1, 4 * d)
+    return [(w, w[-1].t + h) for w in windows for h in horizons]
+
+
+def fingerprint(chunks) -> str:
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(repr(chunk).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def run_single(engine_predict, workload, repeats: int):
+    latencies: list[float] = []
+    chunks = []
+    start = time.perf_counter()
+    for r in range(repeats):
+        for recent, tq in workload:
+            t1 = time.perf_counter()
+            result = engine_predict(recent, tq, SINGLE_K)
+            latencies.append(time.perf_counter() - t1)
+            if r == 0:
+                chunks.append(result)
+    elapsed = time.perf_counter() - start
+    return latencies, elapsed, fingerprint(chunks)
+
+
+def run_sweeps(engine_sweep, windows, sweep_len: int, repeats: int):
+    latencies: list[float] = []
+    chunks = []
+    start = time.perf_counter()
+    for r in range(repeats):
+        for recent in windows:
+            tc = recent[-1].t
+            t1 = time.perf_counter()
+            result = engine_sweep(recent, tc + 1, tc + sweep_len)
+            latencies.append(time.perf_counter() - t1)
+            if r == 0:
+                chunks.append(result)
+    elapsed = time.perf_counter() - start
+    return latencies, elapsed, fingerprint(chunks)
+
+
+def summarize(latencies: list[float], elapsed: float, queries: int) -> dict:
+    return {
+        "p50_ms": round(statistics.median(latencies) * 1e3, 4),
+        "p95_ms": round(
+            statistics.quantiles(latencies, n=20)[-1] * 1e3
+            if len(latencies) >= 20
+            else max(latencies) * 1e3,
+            4,
+        ),
+        "total_seconds": round(elapsed, 3),
+        "qps": round(queries / elapsed, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--subtrajectories", type=int, default=40)
+    parser.add_argument("--period", type=int, default=96)
+    parser.add_argument("--windows", type=int, default=24)
+    parser.add_argument("--sweep-len", type=int, default=120)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small corpus, few windows, one repeat",
+    )
+    parser.add_argument("--output", default="BENCH_predict.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.subtrajectories, args.period = 10, 24
+        args.windows, args.sweep_len, args.repeats = 6, 30, 1
+
+    print(
+        f"fitting model ({args.subtrajectories} sub-trajectories x "
+        f"T={args.period}) ..."
+    )
+    model = build_model(args.subtrajectories, args.period)
+    legacy = LegacyPredictor(model)
+    windows = build_windows(model, args.windows)
+    workload = single_query_workload(model, windows)
+
+    print(
+        f"single-query A/B: {len(workload)} queries x {args.repeats} repeats ..."
+    )
+    legacy_lat, legacy_s, legacy_fp = run_single(
+        legacy.predict, workload, args.repeats
+    )
+    new_lat, new_s, new_fp = run_single(model.predict, workload, args.repeats)
+    single = {
+        "queries": len(workload) * args.repeats,
+        "k": SINGLE_K,
+        "legacy": summarize(legacy_lat, legacy_s, len(workload) * args.repeats),
+        "prepared": summarize(new_lat, new_s, len(workload) * args.repeats),
+        "speedup": round(legacy_s / new_s, 2) if new_s else 0.0,
+        "identical_predictions": legacy_fp == new_fp,
+        "fingerprint": new_fp,
+    }
+    print(
+        f"  legacy {legacy_s:.2f}s vs prepared {new_s:.2f}s "
+        f"-> {single['speedup']}x, identical={single['identical_predictions']}"
+    )
+
+    print(
+        f"trajectory-sweep A/B: {len(windows)} sweeps of {args.sweep_len} steps "
+        f"x {args.repeats} repeats ..."
+    )
+    legacy_lat, legacy_s, legacy_fp = run_sweeps(
+        legacy.predict_trajectory, windows, args.sweep_len, args.repeats
+    )
+    new_lat, new_s, new_fp = run_sweeps(
+        model.predict_trajectory, windows, args.sweep_len, args.repeats
+    )
+    sweeps = len(windows) * args.repeats
+    sweep = {
+        "sweeps": sweeps,
+        "steps_per_sweep": args.sweep_len,
+        "legacy": summarize(legacy_lat, legacy_s, sweeps * args.sweep_len),
+        "prepared": summarize(new_lat, new_s, sweeps * args.sweep_len),
+        "speedup": round(legacy_s / new_s, 2) if new_s else 0.0,
+        "identical_predictions": legacy_fp == new_fp,
+        "fingerprint": new_fp,
+    }
+    print(
+        f"  legacy {legacy_s:.2f}s vs prepared {new_s:.2f}s "
+        f"-> {sweep['speedup']}x, identical={sweep['identical_predictions']}"
+    )
+
+    report = {
+        "benchmark": "predict",
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "subtrajectories": args.subtrajectories,
+        "period": args.period,
+        "distant_threshold": model.config.distant_threshold,
+        "num_patterns": len(model.patterns_),
+        "windows": len(windows),
+        "single_query": single,
+        "trajectory_sweep": sweep,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    identical = single["identical_predictions"] and sweep["identical_predictions"]
+    print(
+        f"single {single['speedup']}x, sweep {sweep['speedup']}x; "
+        f"byte-identical: {identical}; wrote {args.output}"
+    )
+    if not identical:
+        print("FAIL: prepared path diverged from the legacy path", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

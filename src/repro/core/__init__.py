@@ -13,11 +13,14 @@ from .patterns import (
     build_transactions,
     count_rules_unpruned,
     mine_trajectory_patterns,
+    region_visit_masks,
 )
+from .plan import PreparedQuery
 from .prediction import HybridPredictor, Prediction, default_motion_factory
 from .regions import FrequentRegion, RegionSet, discover_frequent_regions
 from .similarity import (
     WEIGHT_FUNCTIONS,
+    PremiseScorer,
     bqp_score,
     consequence_similarity,
     fqp_score,
@@ -39,6 +42,8 @@ __all__ = [
     "PatternKey",
     "PatternMiningStats",
     "Prediction",
+    "PremiseScorer",
+    "PreparedQuery",
     "QueryExplanation",
     "RegionSet",
     "TrajectoryPattern",
@@ -57,6 +62,7 @@ __all__ = [
     "mine_trajectory_patterns",
     "premise_similarity",
     "premise_weights",
+    "region_visit_masks",
     "save_fleet",
     "save_model",
 ]

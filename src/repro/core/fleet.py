@@ -343,6 +343,29 @@ class FleetPredictionModel:
             self._metrics.counter("fleet_predict_total").inc()
         return predictions
 
+    def predict_trajectory(
+        self,
+        object_id: str,
+        recent: Sequence[TimedPoint],
+        t_from: int,
+        t_to: int,
+        step: int = 1,
+    ) -> list[tuple[int, Prediction]]:
+        """Top-1 trajectory sweep against one object's model.
+
+        All timestamps share one prepared query plan (see
+        :meth:`HybridPredictionModel.prepare`), so the per-window work is
+        paid once per sweep rather than once per timestamp.  Counts one
+        ``fleet_predict_total`` per answered timestamp.
+        """
+        with self.object_lock(object_id):
+            results = self[object_id].predict_trajectory(
+                recent, t_from, t_to, step
+            )
+        if self._metrics is not None:
+            self._metrics.counter("fleet_predict_total").inc(len(results))
+        return results
+
     def predict_all(
         self,
         recents: Mapping[str, Sequence[TimedPoint]],

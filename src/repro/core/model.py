@@ -28,6 +28,7 @@ from ..trajectory.trajectory import Trajectory
 from .config import HPMConfig
 from .keys import KeyCodec
 from .patterns import PatternMiningStats, TrajectoryPattern, mine_trajectory_patterns
+from .plan import PreparedQuery
 from .prediction import HybridPredictor, Prediction, default_motion_factory
 from .regions import RegionSet, discover_frequent_regions
 from .tpt import TrajectoryPatternTree
@@ -238,6 +239,27 @@ class HybridPredictionModel:
     # ------------------------------------------------------------------
     # prediction
     # ------------------------------------------------------------------
+    def prepare(self, recent: Sequence[TimedPoint]) -> PreparedQuery:
+        """Build a query plan for ``recent``, reusable across query times.
+
+        The window-dependent work (region mapping, premise-key encoding,
+        motion-function fitting, per-offset candidate scoring) happens at
+        most once per plan; answer many query times against it with
+        :meth:`predict_prepared`.  In pattern-free mode the plan routes
+        every query to the motion fallback.
+        """
+        self._require_fitted()
+        if self._predictor is not None:
+            return self._predictor.prepare(recent)
+        return PreparedQuery(
+            regions=None,
+            codec=None,
+            tree=None,
+            config=self.config,
+            motion_factory=self.motion_factory,
+            recent=recent,
+        )
+
     def predict(
         self,
         recent: Sequence[TimedPoint],
@@ -249,7 +271,8 @@ class HybridPredictionModel:
         When a metrics registry is bound (:meth:`bind_metrics`) each call
         increments ``model_predict_total``, times itself into the
         ``model_predict_seconds`` histogram, and counts the answering
-        method (``model_predict_fqp_total`` etc.).
+        method (``model_predict_fqp_total`` plus the serve-facing
+        ``predict_path_total_fqp`` etc.).
         """
         registry = self._metrics
         if registry is None:
@@ -260,15 +283,46 @@ class HybridPredictionModel:
         except Exception:
             registry.counter("model_predict_errors_total").inc()
             raise
+        self._observe_predict(registry, start, predictions)
+        return predictions
+
+    def predict_prepared(
+        self,
+        plan: PreparedQuery,
+        query_time: int,
+        k: int | None = None,
+    ) -> list[Prediction]:
+        """Answer one query from a plan built by :meth:`prepare`.
+
+        Metrics-instrumented exactly like :meth:`predict`; the answers are
+        byte-identical to ``predict(plan.recent, query_time, k)``.
+        """
+        registry = self._metrics
+        if registry is None:
+            return self._predict_prepared(plan, query_time, k)
+        start = time.perf_counter()
+        try:
+            predictions = self._predict_prepared(plan, query_time, k)
+        except Exception:
+            registry.counter("model_predict_errors_total").inc()
+            raise
+        self._observe_predict(registry, start, predictions)
+        return predictions
+
+    def _observe_predict(
+        self, registry, start: float, predictions: list[Prediction]
+    ) -> None:
         registry.counter("model_predict_total").inc()
         registry.histogram("model_predict_seconds").observe(
             time.perf_counter() - start
         )
         if predictions:
-            registry.counter(
-                f"model_predict_{predictions[0].method}_total"
-            ).inc()
-        return predictions
+            method = predictions[0].method
+            registry.counter(f"model_predict_{method}_total").inc()
+            # Serve-facing path counter (the motion-fallback rate is
+            # Fig. 10's cost driver): predict_path_total{method=...}
+            # flattened to the registry's label-free naming.
+            registry.counter(f"predict_path_total_{method}").inc()
 
     def _predict(
         self,
@@ -279,15 +333,20 @@ class HybridPredictionModel:
         self._require_fitted()
         if self._predictor is not None:
             return self._predictor.predict(recent, query_time, k)
-        # Pattern-free mode: motion function only.
-        fallback = HybridPredictor.__new__(HybridPredictor)
-        raise_if_empty = list(recent)
-        if not raise_if_empty:
-            raise ValueError("recent movements must be non-empty")
-        fallback.config = self.config
-        fallback.motion_factory = self.motion_factory
-        fallback.stats = {"fqp": 0, "bqp": 0, "motion": 0}
-        return [fallback._motion_prediction(raise_if_empty, query_time)]
+        # Pattern-free mode: motion function only (historically answered
+        # without query-time/k validation; keep that contract).
+        return [self.prepare(recent).motion_prediction(query_time)]
+
+    def _predict_prepared(
+        self,
+        plan: PreparedQuery,
+        query_time: int,
+        k: int | None = None,
+    ) -> list[Prediction]:
+        self._require_fitted()
+        if self._predictor is not None:
+            return plan.predict(query_time, k)
+        return [plan.motion_prediction(query_time)]
 
     def predict_one(self, recent: Sequence[TimedPoint], query_time: int) -> Prediction:
         """Top-1 convenience wrapper."""
@@ -303,17 +362,24 @@ class HybridPredictionModel:
         """Top-1 predictions over ``[t_from, t_to]`` at the given stride.
 
         See :meth:`HybridPredictor.predict_trajectory`; in pattern-free
-        mode every timestamp is answered by the motion fallback.
+        mode every timestamp is answered by the motion fallback.  All
+        timestamps share one prepared plan, and each answered timestamp is
+        metrics-instrumented like an individual :meth:`predict` call.
         """
         if step < 1:
             raise ValueError(f"step must be >= 1, got {step}")
         if t_to < t_from:
             raise ValueError(f"empty range [{t_from}, {t_to}]")
         self._require_fitted()
+        plan = self.prepare(recent)
         if self._predictor is not None:
-            return self._predictor.predict_trajectory(recent, t_from, t_to, step)
+            return [
+                (t, self.predict_prepared(plan, t, k=1)[0])
+                for t in range(t_from, t_to + 1, step)
+            ]
         return [
-            (t, self.predict_one(recent, t)) for t in range(t_from, t_to + 1, step)
+            (t, self.predict_prepared(plan, t)[0])
+            for t in range(t_from, t_to + 1, step)
         ]
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ lattice over 300-offset transactions is combinatorially explosive).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, Sequence
 
@@ -42,6 +42,7 @@ from .regions import FrequentRegion, RegionSet
 __all__ = [
     "TrajectoryPattern",
     "build_transactions",
+    "region_visit_masks",
     "mine_trajectory_patterns",
     "count_rules_unpruned",
     "PatternMiningStats",
@@ -96,12 +97,19 @@ class TrajectoryPattern:
 
 @dataclass(frozen=True)
 class PatternMiningStats:
-    """Bookkeeping from one mining run (used by the pruning ablation)."""
+    """Bookkeeping from one mining run (used by the pruning ablation).
+
+    ``region_masks`` carries the vertical region-visit bitmasks the run
+    was counted from, so downstream consumers (the pruning-ablation
+    bench's :func:`count_rules_unpruned`) can reuse them instead of
+    recomputing; it is excluded from equality and repr.
+    """
 
     num_transactions: int
     num_frequent_items: int
     num_frequent_premises: int
     num_patterns: int
+    region_masks: dict | None = field(default=None, repr=False, compare=False)
 
 
 def build_transactions(
@@ -127,7 +135,7 @@ def build_transactions(
     return transactions
 
 
-def _region_masks(
+def region_visit_masks(
     regions: RegionSet, num_subtrajectories: int
 ) -> dict[FrequentRegion, int]:
     """Vertical representation: region -> bitmask of visiting sub-trajectories."""
@@ -141,6 +149,10 @@ def _region_masks(
     return masks
 
 
+# Backwards-compatible private alias (pre-public name).
+_region_masks = region_visit_masks
+
+
 def mine_trajectory_patterns(
     regions: RegionSet,
     num_subtrajectories: int,
@@ -151,6 +163,7 @@ def mine_trajectory_patterns(
     max_consequence_gap: int | None = None,
     far_premise_stride: int = 5,
     return_stats: bool = False,
+    region_masks: dict[FrequentRegion, int] | None = None,
 ) -> list[TrajectoryPattern] | tuple[list[TrajectoryPattern], PatternMiningStats]:
     """Mine all trajectory patterns satisfying the paper's constraints.
 
@@ -183,6 +196,9 @@ def mine_trajectory_patterns(
         ``max_consequence_gap`` is ``None``.
     return_stats:
         Also return a :class:`PatternMiningStats` record.
+    region_masks:
+        Precomputed :func:`region_visit_masks` for ``(regions,
+        num_subtrajectories)``; computed when omitted.
     """
     if min_support < 1:
         raise ValueError(f"min_support must be >= 1, got {min_support}")
@@ -201,7 +217,11 @@ def mine_trajectory_patterns(
             f"far_premise_stride must be >= 1, got {far_premise_stride}"
         )
 
-    masks = _region_masks(regions, num_subtrajectories)
+    masks = (
+        region_visit_masks(regions, num_subtrajectories)
+        if region_masks is None
+        else region_masks
+    )
     frequent_items = [
         (region, mask)
         for region, mask in masks.items()
@@ -274,6 +294,7 @@ def mine_trajectory_patterns(
         num_frequent_items=len(frequent_items),
         num_frequent_premises=len(all_premises),
         num_patterns=len(patterns),
+        region_masks=masks,
     )
     return patterns, stats
 
@@ -283,6 +304,7 @@ def count_rules_unpruned(
     regions: RegionSet,
     num_subtrajectories: int,
     min_confidence: float,
+    masks: dict[FrequentRegion, int] | None = None,
 ) -> int:
     """Rules plain Apriori would emit over the same itemset universe.
 
@@ -292,8 +314,12 @@ def count_rules_unpruned(
     ``min_confidence`` — the generation the paper prunes away.  The paper
     reports the pruning removed 58 % of patterns; the ablation benchmark
     compares ``len(patterns)`` to this count.
+
+    ``masks`` accepts precomputed :func:`region_visit_masks` (e.g. from
+    :attr:`PatternMiningStats.region_masks`) to skip the recomputation.
     """
-    masks = _region_masks(regions, num_subtrajectories)
+    if masks is None:
+        masks = region_visit_masks(regions, num_subtrajectories)
     itemsets = {
         frozenset(p.premise) | {p.consequence} for p in patterns
     }

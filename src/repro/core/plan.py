@@ -1,0 +1,341 @@
+"""Prepared query plans: per-window work hoisted out of the per-query loop.
+
+``HybridPredictor.predict`` used to redo the same work for every query
+against the same recent window: map the window to frequent regions, encode
+the premise key, fit the motion-fallback function, score *every* candidate
+and full-sort it.  ``predict_trajectory`` multiplied that by the horizon
+length and the serve batcher by the batch size.
+
+:class:`PreparedQuery` factors the window-dependent work out once:
+
+* the recent window is mapped to regions and the premise key is encoded at
+  construction time;
+* the motion-fallback function (and its linear understudy) is fitted
+  lazily, at most once per plan;
+* FQP candidate scoring is memoised per query offset ``tq mod T`` — a
+  trajectory sweep revisits at most ``T`` distinct offsets;
+* top-k selection uses ``heapq.nsmallest`` over the scored candidates
+  instead of a full sort.
+
+Every answer is **byte-identical** to the unprepared path: similarity
+floats are accumulated in the same order (see
+:class:`repro.core.similarity.PremiseScorer`), ``heapq.nsmallest`` is
+documented equivalent to ``sorted(...)[:k]`` (stable for equal keys), and
+the fallback chain degrades exactly like the original
+``_motion_prediction`` (primary function, then linear, then stationary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import nsmallest
+from typing import Sequence
+
+from ..motion.base import MotionFunction, MotionFunctionFactory
+from ..motion.linear import LinearMotionFunction
+from ..trajectory.point import Point, TimedPoint
+from .config import HPMConfig
+from .keys import KeyCodec
+from .patterns import TrajectoryPattern
+from .regions import FrequentRegion, RegionSet
+from .similarity import PremiseScorer
+from .tpt import TrajectoryPatternTree
+
+__all__ = ["Prediction", "PreparedQuery", "map_window_to_regions"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One predicted location with its provenance.
+
+    ``method`` is ``"fqp"``, ``"bqp"`` or ``"motion"``; for pattern-based
+    answers ``pattern`` is the winning trajectory pattern and ``score`` its
+    ranking weight ``S_p``.
+    """
+
+    location: Point
+    method: str
+    score: float | None = None
+    pattern: TrajectoryPattern | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("fqp", "bqp", "motion"):
+            raise ValueError(f"unknown prediction method {self.method!r}")
+
+
+def map_window_to_regions(
+    regions: RegionSet, window: Sequence[TimedPoint], period: int
+) -> list[FrequentRegion]:
+    """Map a recent-movement window onto the frequent regions it passes.
+
+    Section V-C: "we investigate which frequent regions the object has
+    visited recently from ``m_q``".  Duplicates are collapsed, first-visit
+    order is kept.
+    """
+    seen: list[FrequentRegion] = []
+    for sample in window:
+        region = regions.locate(sample.point, sample.t % period)
+        if region is not None and region not in seen:
+            seen.append(region)
+    return seen
+
+
+def _rank_key(scored: tuple[float, TrajectoryPattern]) -> tuple[float, float, int]:
+    # Same ordering as the original ``sort + [:k]``: score desc, then
+    # confidence desc, then support desc; ``nsmallest`` is stable, so full
+    # ties keep candidate (tree) order exactly like ``list.sort`` did.
+    score, pattern = scored
+    return (-score, -pattern.confidence, -pattern.support)
+
+
+_UNSET = object()
+
+
+class PreparedQuery:
+    """One recent-movement window, prepared to answer many query times.
+
+    Built via :meth:`HybridPredictor.prepare` or
+    :meth:`HybridPredictionModel.prepare`; ``codec``/``tree`` are ``None``
+    in pattern-free mode, where every query is answered by the motion
+    fallback.
+    """
+
+    def __init__(
+        self,
+        regions: RegionSet | None,
+        codec: KeyCodec | None,
+        tree: TrajectoryPatternTree | None,
+        config: HPMConfig,
+        motion_factory: MotionFunctionFactory,
+        recent: Sequence[TimedPoint],
+        stats: dict | None = None,
+        scorer: PremiseScorer | None = None,
+    ):
+        recent = list(recent)
+        if not recent:
+            raise ValueError("recent movements must be non-empty")
+        self.config = config
+        self.recent = recent
+        self.current_time: int = recent[-1].t
+        self.motion_factory = motion_factory
+        # Shared with the owning predictor so path counts keep accumulating
+        # in one place; a standalone plan gets its own dict.
+        self.stats = stats if stats is not None else {"fqp": 0, "bqp": 0, "motion": 0}
+        self._regions = regions
+        self._codec = codec
+        self._tree = tree
+        self._scorer = (
+            scorer if scorer is not None else PremiseScorer(config.weight_function)
+        )
+        self._window = recent[-config.recent_window :]
+        if regions is not None and codec is not None:
+            self.recent_regions = map_window_to_regions(
+                regions, self._window, config.period
+            )
+            self.premise_key: int = codec.premise_key(self.recent_regions)
+        else:
+            self.recent_regions = []
+            self.premise_key = 0
+        # offset -> scored candidate list (or None when no candidate) —
+        # FQP work is per-offset, so a sweep computes each at most once.
+        self._fqp_scored: dict[int, list[tuple[float, TrajectoryPattern]] | None] = {}
+        self._motion_primary: MotionFunction | None | object = _UNSET
+        self._motion_linear: MotionFunction | None | object = _UNSET
+
+    # ------------------------------------------------------------------
+    # public API (mirrors HybridPredictor's validation order exactly)
+    # ------------------------------------------------------------------
+    def predict(self, query_time: int, k: int | None = None) -> list[Prediction]:
+        """Answer one predictive query from this plan."""
+        k = self.config.top_k if k is None else k
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        tc = self.current_time
+        if query_time <= tc:
+            raise ValueError(
+                f"query time {query_time} must be after the current time {tc}"
+            )
+        if self._tree is None:
+            return [self.motion_prediction(query_time)]
+        if query_time - tc >= self.config.distant_threshold:
+            return self.backward(query_time, k)
+        return self.forward(query_time, k)
+
+    def predict_one(self, query_time: int) -> Prediction:
+        """Top-1 convenience wrapper around :meth:`predict`."""
+        return self.predict(query_time, k=1)[0]
+
+    def predict_trajectory(
+        self, t_from: int, t_to: int, step: int = 1
+    ) -> list[tuple[int, Prediction]]:
+        """Top-1 predictions over a future time range (inclusive bounds)."""
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if t_to < t_from:
+            raise ValueError(f"empty range [{t_from}, {t_to}]")
+        return [
+            (t, self.predict(t, k=1)[0]) for t in range(t_from, t_to + 1, step)
+        ]
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: Forward Query Processing
+    # ------------------------------------------------------------------
+    def forward(self, query_time: int, k: int) -> list[Prediction]:
+        """FQP from the prepared premise key (no validation, like the old
+        ``forward_query``)."""
+        scored = self._forward_scored(query_time % self.config.period)
+        if scored is None:
+            return [self.motion_prediction(query_time)]
+        self.stats["fqp"] += 1
+        return [
+            Prediction(
+                location=pattern.consequence.center,
+                method="fqp",
+                score=score,
+                pattern=pattern,
+            )
+            for score, pattern in nsmallest(k, scored, key=_rank_key)
+        ]
+
+    def _forward_scored(
+        self, offset: int
+    ) -> list[tuple[float, TrajectoryPattern]] | None:
+        try:
+            return self._fqp_scored[offset]
+        except KeyError:
+            pass
+        query_key = self._codec.encode_query(self.recent_regions, offset)
+        candidates = self._tree.search_candidates(query_key)
+        scored: list[tuple[float, TrajectoryPattern]] | None = None
+        if candidates:
+            rkq = self.premise_key
+            score = self._scorer.score
+            # Eq. 2 inline: S_p = S_r * c (same operands, same order as
+            # fqp_score on already-validated unit values).
+            scored = [
+                (score(key.premise_key, rkq) * pattern.confidence, pattern)
+                for pattern, key in candidates
+            ]
+        self._fqp_scored[offset] = scored
+        return scored
+
+    # ------------------------------------------------------------------
+    # Algorithm 3: Backward Query Processing
+    # ------------------------------------------------------------------
+    def backward(self, query_time: int, k: int) -> list[Prediction]:
+        """BQP with incremental interval enlargement over the offset index.
+
+        The consequence mask grows monotonically with the interval, so each
+        enlargement round only encodes the two *new* edge sub-ranges; once
+        the interval covers a full period the mask saturates.  Candidate
+        retrieval probes the tree's consequence-offset index instead of a
+        fresh descent per round.
+        """
+        cfg = self.config
+        codec = self._codec
+        tc = self.current_time
+        period = cfg.period
+        t_eps = cfg.time_relaxation
+        full_mask = (1 << codec.consequence_length) - 1
+
+        mask = 0
+        lo = hi = 0
+        i = 1
+        while True:
+            relaxation = i * t_eps
+            new_lo = query_time - relaxation
+            new_hi = query_time + relaxation
+            if mask != full_mask:
+                if new_hi - new_lo + 1 >= period:
+                    mask = full_mask
+                elif i == 1:
+                    mask = codec.consequence_mask(
+                        t % period for t in range(new_lo, new_hi + 1)
+                    )
+                else:
+                    mask |= codec.consequence_mask(
+                        t % period for t in range(new_lo, lo)
+                    )
+                    mask |= codec.consequence_mask(
+                        t % period for t in range(hi + 1, new_hi + 1)
+                    )
+            lo, hi = new_lo, new_hi
+            candidates = self._tree.search_by_consequence(mask) if mask else []
+            if candidates:
+                self.stats["bqp"] += 1
+                horizon = query_time - tc
+                # Eq. 5 inline: S_p = (S_r * min(1, d/(tq-tc)) + S_c) * c,
+                # with S_c per Eq. 3 — identical operand order to
+                # bqp_score/consequence_similarity.
+                penalty = min(1.0, cfg.distant_threshold / horizon)
+                denominator = relaxation + 1
+                query_offset = query_time % period
+                rkq = self.premise_key
+                score = self._scorer.score
+                scored = []
+                for pattern, key in candidates:
+                    sr = score(key.premise_key, rkq)
+                    diff = abs(pattern.consequence_offset - query_offset) % period
+                    sc = max(0.0, 1.0 - min(diff, period - diff) / denominator)
+                    scored.append(((sr * penalty + sc) * pattern.confidence, pattern))
+                return [
+                    Prediction(
+                        location=pattern.consequence.center,
+                        method="bqp",
+                        score=score_,
+                        pattern=pattern,
+                    )
+                    for score_, pattern in nsmallest(k, scored, key=_rank_key)
+                ]
+            i += 1
+            if query_time - i * t_eps <= tc:
+                return [self.motion_prediction(query_time)]
+
+    # ------------------------------------------------------------------
+    # motion fallback (fit-once, same degradation chain as before)
+    # ------------------------------------------------------------------
+    def motion_prediction(self, query_time: int) -> Prediction:
+        """The "Call motion function" fallback with graceful degradation.
+
+        The primary function and the linear understudy are each fitted at
+        most once per plan; ``predict`` failures (e.g. a query time at or
+        before the fitted range) still cascade down the chain per call, so
+        the answer for any single query matches the unprepared path.
+        """
+        self.stats["motion"] += 1
+        primary = self._motion_primary
+        if primary is _UNSET:
+            primary = self._motion_primary = self._fit(self.motion_factory)
+        if primary is not None:
+            try:
+                return Prediction(location=primary.predict(query_time), method="motion")
+            except ValueError:
+                pass
+        window = self._window
+        if len(window) >= 2:
+            linear = self._motion_linear
+            if linear is _UNSET:
+                linear = self._motion_linear = self._fit(LinearMotionFunction)
+            if linear is not None:
+                try:
+                    return Prediction(
+                        location=linear.predict(query_time), method="motion"
+                    )
+                except ValueError:
+                    pass
+        return Prediction(location=window[-1].point, method="motion")
+
+    def _fit(self, factory: MotionFunctionFactory) -> MotionFunction | None:
+        try:
+            func = factory()
+            func.fit(self._window)
+            return func
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery(tc={self.current_time}, "
+            f"regions={len(self.recent_regions)}, "
+            f"premise_key={self.premise_key:#x})"
+        )

@@ -13,44 +13,30 @@ Given an object's recent movements and a query time the predictor:
   ``S_p = (S_r x d/(tq - tc) + S_c) x c`` (Eq. 5);
 * falls back to the configured motion function (RMF by default) whenever
   no pattern qualifies — the "hybrid" in HPM.
+
+Every public entry point routes through a :class:`repro.core.plan.PreparedQuery`
+plan, which hoists the per-window work (region mapping, premise-key
+encoding, motion-function fitting, per-offset candidate scoring) out of
+the per-query loop; ``prepare`` exposes the plan directly so callers
+answering many query times against one window pay that cost once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..motion.base import MotionFunction, MotionFunctionFactory
 from ..motion.linear import LinearMotionFunction
 from ..motion.rmf import RecursiveMotionFunction
-from ..trajectory.point import Point, TimedPoint
+from ..trajectory.point import TimedPoint
 from .config import HPMConfig
-from .keys import KeyCodec, PatternKey
-from .patterns import TrajectoryPattern
+from .keys import KeyCodec
+from .plan import Prediction, PreparedQuery, map_window_to_regions
 from .regions import FrequentRegion, RegionSet
-from .similarity import bqp_score, consequence_similarity, fqp_score, premise_similarity
+from .similarity import PremiseScorer
 from .tpt import TrajectoryPatternTree
 
-__all__ = ["Prediction", "HybridPredictor", "default_motion_factory"]
-
-
-@dataclass(frozen=True)
-class Prediction:
-    """One predicted location with its provenance.
-
-    ``method`` is ``"fqp"``, ``"bqp"`` or ``"motion"``; for pattern-based
-    answers ``pattern`` is the winning trajectory pattern and ``score`` its
-    ranking weight ``S_p``.
-    """
-
-    location: Point
-    method: str
-    score: float | None = None
-    pattern: TrajectoryPattern | None = None
-
-    def __post_init__(self) -> None:
-        if self.method not in ("fqp", "bqp", "motion"):
-            raise ValueError(f"unknown prediction method {self.method!r}")
+__all__ = ["Prediction", "HybridPredictor", "PreparedQuery", "default_motion_factory"]
 
 
 def default_motion_factory() -> MotionFunction:
@@ -81,10 +67,30 @@ class HybridPredictor:
         # Diagnostics: how many queries each path answered (Fig. 10's cost
         # analysis hinges on the motion-fallback rate).
         self.stats = {"fqp": 0, "bqp": 0, "motion": 0}
+        # Weight tables are per (premise key, weight family) and shared by
+        # every plan this predictor prepares.
+        self._scorer = PremiseScorer(config.weight_function)
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def prepare(self, recent: Sequence[TimedPoint]) -> PreparedQuery:
+        """Build a query plan for ``recent``, reusable across query times.
+
+        The plan shares this predictor's :attr:`stats` and similarity
+        tables; its answers are identical to :meth:`predict`'s.
+        """
+        return PreparedQuery(
+            regions=self.regions,
+            codec=self.codec,
+            tree=self.tree,
+            config=self.config,
+            motion_factory=self.motion_factory,
+            recent=recent,
+            stats=self.stats,
+            scorer=self._scorer,
+        )
+
     def predict(
         self,
         recent: Sequence[TimedPoint],
@@ -103,20 +109,7 @@ class HybridPredictor:
         k:
             Number of results; defaults to ``config.top_k``.
         """
-        recent = list(recent)
-        if not recent:
-            raise ValueError("recent movements must be non-empty")
-        k = self.config.top_k if k is None else k
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        tc = recent[-1].t
-        if query_time <= tc:
-            raise ValueError(
-                f"query time {query_time} must be after the current time {tc}"
-            )
-        if self._is_distant(tc, query_time):
-            return self.backward_query(recent, query_time, k)
-        return self.forward_query(recent, query_time, k)
+        return self.prepare(recent).predict(query_time, k)
 
     def predict_one(self, recent: Sequence[TimedPoint], query_time: int) -> Prediction:
         """Top-1 convenience wrapper around :meth:`predict`."""
@@ -132,123 +125,32 @@ class HybridPredictor:
         """Top-1 predictions over a future time range (inclusive bounds).
 
         An extension of the paper's point queries: each timestamp in
-        ``range(t_from, t_to + 1, step)`` is answered independently, so the
-        result transitions from FQP through BQP as the horizon crosses the
-        distant-time threshold.
+        ``range(t_from, t_to + 1, step)`` is answered as if queried
+        independently — the result transitions from FQP through BQP as the
+        horizon crosses the distant-time threshold — but all timestamps
+        share one prepared plan, so region mapping, key encoding and
+        motion fitting happen once per sweep.
         """
         if step < 1:
             raise ValueError(f"step must be >= 1, got {step}")
         if t_to < t_from:
             raise ValueError(f"empty range [{t_from}, {t_to}]")
-        return [
-            (t, self.predict_one(recent, t))
-            for t in range(t_from, t_to + 1, step)
-        ]
+        return self.prepare(recent).predict_trajectory(t_from, t_to, step)
 
     # ------------------------------------------------------------------
-    # Algorithm 2: Forward Query Processing
+    # Algorithm 2 / Algorithm 3 entry points (no tq/k validation, as ever)
     # ------------------------------------------------------------------
     def forward_query(
         self, recent: Sequence[TimedPoint], query_time: int, k: int
     ) -> list[Prediction]:
         """FQP: premise-and-consequence constrained pattern retrieval."""
-        recent_regions = self.map_recent_to_regions(recent)
-        query_key = self.codec.encode_query(
-            recent_regions, query_time % self.config.period
-        )
-        candidates = self.tree.search_candidates(query_key)
-        if not candidates:
-            return [self._motion_prediction(recent, query_time)]
-        ranked = self._rank_fqp(candidates, query_key)
-        self.stats["fqp"] += 1
-        return [
-            Prediction(
-                location=pattern.consequence.center,
-                method="fqp",
-                score=score,
-                pattern=pattern,
-            )
-            for score, pattern in ranked[:k]
-        ]
+        return self.prepare(recent).forward(query_time, k)
 
-    def _rank_fqp(
-        self,
-        candidates: Sequence[tuple[TrajectoryPattern, PatternKey]],
-        query_key: PatternKey,
-    ) -> list[tuple[float, TrajectoryPattern]]:
-        scored: list[tuple[float, TrajectoryPattern]] = []
-        for pattern, key in candidates:
-            sr = premise_similarity(
-                key.premise_key, query_key.premise_key, self.config.weight_function
-            )
-            scored.append((fqp_score(sr, pattern.confidence), pattern))
-        scored.sort(key=lambda sp: (-sp[0], -sp[1].confidence, -sp[1].support))
-        return scored
-
-    # ------------------------------------------------------------------
-    # Algorithm 3: Backward Query Processing
-    # ------------------------------------------------------------------
     def backward_query(
         self, recent: Sequence[TimedPoint], query_time: int, k: int
     ) -> list[Prediction]:
         """BQP: consequence-interval retrieval with incremental enlargement."""
-        tc = recent[-1].t
-        recent_regions = self.map_recent_to_regions(recent)
-        query_key = self.codec.encode_query(
-            recent_regions, query_time % self.config.period
-        )
-        t_eps = self.config.time_relaxation
-
-        i = 1
-        while True:
-            relaxation = i * t_eps
-            lo = query_time - relaxation
-            hi = query_time + relaxation
-            offsets = {t % self.config.period for t in range(lo, hi + 1)}
-            mask = self.codec.consequence_mask(offsets)
-            candidates = self.tree.search_by_consequence(mask)
-            if candidates:
-                ranked = self._rank_bqp(
-                    candidates, query_key, tc, query_time, relaxation
-                )
-                self.stats["bqp"] += 1
-                return [
-                    Prediction(
-                        location=pattern.consequence.center,
-                        method="bqp",
-                        score=score,
-                        pattern=pattern,
-                    )
-                    for score, pattern in ranked[:k]
-                ]
-            i += 1
-            if query_time - i * t_eps <= tc:
-                return [self._motion_prediction(recent, query_time)]
-
-    def _rank_bqp(
-        self,
-        candidates: Sequence[tuple[TrajectoryPattern, PatternKey]],
-        query_key: PatternKey,
-        tc: int,
-        query_time: int,
-        relaxation: int,
-    ) -> list[tuple[float, TrajectoryPattern]]:
-        horizon = query_time - tc
-        scored: list[tuple[float, TrajectoryPattern]] = []
-        for pattern, key in candidates:
-            sr = premise_similarity(
-                key.premise_key, query_key.premise_key, self.config.weight_function
-            )
-            sc = consequence_similarity(
-                self._offset_distance(pattern.consequence_offset, query_time),
-                relaxation,
-            )
-            score = bqp_score(
-                sr, sc, pattern.confidence, self.config.distant_threshold, horizon
-            )
-            scored.append((score, pattern))
-        scored.sort(key=lambda sp: (-sp[0], -sp[1].confidence, -sp[1].support))
-        return scored
+        return self.prepare(recent).backward(query_time, k)
 
     def _offset_distance(self, consequence_offset: int, query_time: int) -> int:
         """Circular distance between a consequence offset and ``tq mod T``."""
@@ -270,14 +172,7 @@ class HybridPredictor:
         collapsed.
         """
         window = list(recent)[-self.config.recent_window :]
-        seen: list[FrequentRegion] = []
-        for sample in window:
-            region = self.regions.locate(
-                sample.point, sample.t % self.config.period
-            )
-            if region is not None and region not in seen:
-                seen.append(region)
-        return seen
+        return map_window_to_regions(self.regions, window, self.config.period)
 
     def _is_distant(self, tc: int, tq: int) -> bool:
         """Definition 2: ``tq >= tc + d``."""

@@ -11,6 +11,7 @@ we use ``R_t^j`` to represent the j-th frequent region at time offset t."
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
@@ -110,6 +111,7 @@ class RegionSet:
         for region in self._regions:
             self._by_offset.setdefault(region.offset, []).append(region)
         self._trees = {region: cKDTree(region.points) for region in self._regions}
+        self._locate_cache: OrderedDict = OrderedDict()
 
     # ------------------------------------------------------------------
     # container protocol
@@ -143,13 +145,42 @@ class RegionSet:
         """Sorted offsets that have at least one frequent region."""
         return sorted(self._by_offset)
 
+    # LRU capacity for the locate memo.  Recent windows of live objects
+    # revisit the same handful of (coordinate, offset) cells constantly —
+    # serve batching, trajectory sweeps and repeated queries all hit.
+    _LOCATE_CACHE_SIZE = 4096
+
     def locate(self, point: Point | tuple[float, float], offset: int) -> FrequentRegion | None:
         """The frequent region at ``offset`` containing ``point``, if any.
 
         "Containing" means within ``eps`` of a member point (density
         membership).  When several regions qualify (possible at region
         borders) the closest member wins.
+
+        Answers are memoised in an LRU keyed on the exact coordinates and
+        offset — the degenerate grid cell — so a cached answer is always
+        the answer the KD-tree lookup would give.
         """
+        xy = (point.x, point.y) if isinstance(point, Point) else (point[0], point[1])
+        cache_key = (xy[0], xy[1], offset)
+        cache = self._locate_cache
+        try:
+            region = cache[cache_key]
+        except KeyError:
+            pass
+        else:
+            cache.move_to_end(cache_key)
+            return region
+        region = self.locate_uncached(xy, offset)
+        cache[cache_key] = region
+        if len(cache) > self._LOCATE_CACHE_SIZE:
+            cache.popitem(last=False)
+        return region
+
+    def locate_uncached(
+        self, point: Point | tuple[float, float], offset: int
+    ) -> FrequentRegion | None:
+        """:meth:`locate` without the memo (reference implementation)."""
         candidates = self.at_offset(offset)
         if not candidates:
             return None
@@ -162,6 +193,17 @@ class RegionSet:
                 best = region
                 best_dist = dist
         return best
+
+    def __getstate__(self) -> dict:
+        # The memo is derived state; ship snapshots/pickles without it.
+        state = self.__dict__.copy()
+        state["_locate_cache"] = OrderedDict()
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Snapshots written before the memo existed restore without it.
+        self.__dict__.setdefault("_locate_cache", OrderedDict())
 
     def __repr__(self) -> str:
         return f"RegionSet(regions={len(self)}, period={self.period}, eps={self.eps})"

@@ -23,6 +23,7 @@ Worked examples from the paper (covered by tests):
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Callable
 
 from ..signature import bitset
@@ -30,6 +31,7 @@ from .keys import PatternKey
 
 __all__ = [
     "WEIGHT_FUNCTIONS",
+    "PremiseScorer",
     "premise_weights",
     "premise_similarity",
     "consequence_similarity",
@@ -53,20 +55,26 @@ def premise_weights(num_ones: int, kind: str = "linear") -> list[float]:
     ``w_i`` is the importance of the i-th '1' counted right-to-left; the
     weights sum to 1, so a full match yields similarity 1.
     """
-    try:
-        raw = WEIGHT_FUNCTIONS[kind]
-    except KeyError:
+    if kind not in WEIGHT_FUNCTIONS:
         raise ValueError(
             f"unknown weight function {kind!r}; choose from "
             f"{sorted(WEIGHT_FUNCTIONS)}"
-        ) from None
+        )
     if num_ones < 0:
         raise ValueError(f"num_ones must be >= 0, got {num_ones}")
     if num_ones == 0:
         return []
+    return list(_cached_weights(num_ones, kind))
+
+
+@lru_cache(maxsize=4096)
+def _cached_weights(num_ones: int, kind: str) -> tuple[float, ...]:
+    # The weight vector depends only on (n, kind); the ranking hot path
+    # asks for the same few vectors millions of times.
+    raw = WEIGHT_FUNCTIONS[kind]
     values = [raw(i) for i in range(1, num_ones + 1)]
     total = sum(values)
-    return [v / total for v in values]
+    return tuple(v / total for v in values)
 
 
 def premise_similarity(rk: int, rkq: int, kind: str = "linear") -> float:
@@ -139,6 +147,57 @@ def bqp_score(
         )
     penalty = min(1.0, distant_threshold / horizon)
     return (premise_sim * penalty + consequence_sim) * confidence
+
+
+class PremiseScorer:
+    """Equation 1 with per-premise-key weight tables computed once.
+
+    Ranking scores every candidate pattern against one query key; a
+    pattern's per-'1' weights depend only on its own premise key and the
+    weight family, so they are resolved to ``(bit, weight)`` pairs the
+    first time a key is seen and reused for every later query.
+
+    ``score`` sums the weights of the common '1's in ascending bit order —
+    the same accumulation order, and therefore bit-for-bit the same float,
+    as :func:`premise_similarity`.
+    """
+
+    __slots__ = ("kind", "_tables")
+
+    def __init__(self, kind: str = "linear"):
+        if kind not in WEIGHT_FUNCTIONS:
+            raise ValueError(
+                f"unknown weight function {kind!r}; choose from "
+                f"{sorted(WEIGHT_FUNCTIONS)}"
+            )
+        self.kind = kind
+        self._tables: dict[int, tuple[tuple[int, float], ...]] = {}
+
+    def table(self, rk: int) -> tuple[tuple[int, float], ...]:
+        """``(bit_index, weight)`` pairs of ``rk``'s '1's, ascending."""
+        table = self._tables.get(rk)
+        if table is None:
+            if rk < 0:
+                raise ValueError("premise keys are non-negative")
+            bits = bitset.to_indices(rk)
+            table = self._tables[rk] = tuple(
+                zip(bits, _cached_weights(len(bits), self.kind))
+            )
+        return table
+
+    def score(self, rk: int, rkq: int) -> float:
+        """Equation 1: ``premise_similarity(rk, rkq, self.kind)``, cached."""
+        if rkq < 0:
+            raise ValueError("premise keys are non-negative")
+        common = rk & rkq
+        score = 0.0
+        if common:
+            for bit_index, weight in self.table(rk):
+                if (common >> bit_index) & 1:
+                    score += weight
+        elif rk < 0:
+            raise ValueError("premise keys are non-negative")
+        return score
 
 
 def query_similarity(pattern_key: PatternKey, query_key: PatternKey, kind: str) -> float:

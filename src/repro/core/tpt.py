@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from ..signature.bitset import contain, difference, size
+from ..signature.bitset import contain, difference, iter_set_bits, size
 from ..signature.signature_tree import LeafEntry, Node, SignatureTree
 from .keys import KeyCodec, PatternKey
 from .patterns import TrajectoryPattern
@@ -57,6 +57,25 @@ class TrajectoryPatternTree(SignatureTree):
         )
         self.codec = codec
         self._premise_mask = (1 << codec.premise_length) - 1
+        # time-id -> DFS-ordered (seq, premise_bits, pattern, key) bucket;
+        # rebuilt lazily after any structural change (see
+        # consequence_index).
+        self._consequence_index: dict[int, list] | None = None
+
+    # ------------------------------------------------------------------
+    # structural mutations invalidate the offset index
+    # ------------------------------------------------------------------
+    def insert(self, signature: int, payload) -> None:
+        self._consequence_index = None
+        super().insert(signature, payload)
+
+    def delete(self, signature: int, match=None) -> bool:
+        self._consequence_index = None
+        return super().delete(signature, match)
+
+    def bulk_load(self, items) -> None:
+        self._consequence_index = None
+        super().bulk_load(items)
 
     # ------------------------------------------------------------------
     # pattern-level API
@@ -74,6 +93,33 @@ class TrajectoryPatternTree(SignatureTree):
         ]
         self.bulk_load(items)
 
+    def consequence_index(self) -> dict[int, list]:
+        """The consequence-offset inverted index, building it if stale.
+
+        Maps each consequence time-id to the bucket of entries whose key
+        sets that bit, as ``(seq, premise_bits, pattern, key)`` tuples
+        where ``seq`` is the entry's position in the full depth-first
+        traversal.  Because the search predicates are OR-monotone, a
+        pruned descent visits surviving entries in exactly that traversal
+        order — so answers assembled from buckets (merged by ``seq``) are
+        byte-identical to descent answers, just without walking the tree.
+        """
+        index = self._consequence_index
+        if index is None:
+            index = {}
+            shift = self.codec.premise_length
+            premise_mask = self._premise_mask
+            for seq, entry in enumerate(self.all_entries()):
+                signature = entry.signature
+                key = self.codec.wrap(signature)
+                premise_bits = signature & premise_mask
+                for time_id in iter_set_bits(signature >> shift):
+                    index.setdefault(time_id, []).append(
+                        (seq, premise_bits, entry.payload, key)
+                    )
+            self._consequence_index = index
+        return index
+
     def search_candidates(
         self, query_key: PatternKey
     ) -> list[tuple[TrajectoryPattern, PatternKey]]:
@@ -81,8 +127,35 @@ class TrajectoryPatternTree(SignatureTree):
 
         Intersect requires common '1's on both the consequence part (same
         consequence time offset as the query) and the premise part (at
-        least one shared recent region).
+        least one shared recent region).  Served from the consequence
+        index: an empty offset bucket short-circuits before any tree work.
         """
+        qv = query_key.value
+        q_rk = qv & self._premise_mask
+        q_ck = qv >> self.codec.premise_length
+        if q_rk == 0 or q_ck == 0:
+            return []  # Intersect can never hold against an empty part
+        index = self.consequence_index()
+        time_ids = list(iter_set_bits(q_ck))
+        if len(time_ids) == 1:
+            bucket = index.get(time_ids[0], ())
+            return [
+                (pattern, key)
+                for _seq, premise_bits, pattern, key in bucket
+                if premise_bits & q_rk
+            ]
+        hits: dict[int, tuple[TrajectoryPattern, PatternKey]] = {}
+        for time_id in time_ids:
+            for seq, premise_bits, pattern, key in index.get(time_id, ()):
+                if premise_bits & q_rk and seq not in hits:
+                    hits[seq] = (pattern, key)
+        return [hits[seq] for seq in sorted(hits)]
+
+    def search_candidates_descent(
+        self, query_key: PatternKey
+    ) -> list[tuple[TrajectoryPattern, PatternKey]]:
+        """Reference implementation of :meth:`search_candidates` via tree
+        descent (Section V-C) — kept for A/B verification and benchmarks."""
         return list(self.iter_candidates(query_key))
 
     def iter_candidates(
@@ -111,7 +184,33 @@ class TrajectoryPatternTree(SignatureTree):
         "Compared with FQP which requires intersection constraints on both
         the premise key and the consequence key, BQP gives up the
         constraint for the premise key" (Section VI-C).
+
+        Served from the consequence index: BQP's enlargement loop probes
+        offset buckets instead of re-descending the tree every round.
         """
+        if consequence_mask < 0:
+            raise ValueError("consequence_mask must be non-negative")
+        if consequence_mask == 0:
+            return []
+        index = self.consequence_index()
+        time_ids = list(iter_set_bits(consequence_mask))
+        if len(time_ids) == 1:
+            return [
+                (pattern, key)
+                for _seq, _premise_bits, pattern, key in index.get(time_ids[0], ())
+            ]
+        hits: dict[int, tuple[TrajectoryPattern, PatternKey]] = {}
+        for time_id in time_ids:
+            for seq, _premise_bits, pattern, key in index.get(time_id, ()):
+                if seq not in hits:
+                    hits[seq] = (pattern, key)
+        return [hits[seq] for seq in sorted(hits)]
+
+    def search_by_consequence_descent(
+        self, consequence_mask: int
+    ) -> list[tuple[TrajectoryPattern, PatternKey]]:
+        """Reference implementation of :meth:`search_by_consequence` via
+        tree descent — kept for A/B verification and benchmarks."""
         if consequence_mask < 0:
             raise ValueError("consequence_mask must be non-negative")
         if consequence_mask == 0:
@@ -145,17 +244,48 @@ class TrajectoryPatternTree(SignatureTree):
             ),
         )
 
+    # Rebuild instead of deleting one-by-one once this many patterns AND
+    # this fraction of the tree are doomed: each ``delete`` re-encodes the
+    # key, descends the tree and may condense/reinsert, so bulk expiry was
+    # quadratic in the number of removals.
+    _REBUILD_MIN_DOOMED = 8
+    _REBUILD_FRACTION = 0.25
+
     def expire_patterns(self, predicate) -> int:
         """Remove every indexed pattern the predicate accepts.
 
         The paper's dynamic-data path only ever *adds* patterns; a
         deployment also needs to retire them (stale confidences, moved
         home/work).  Returns the number of removed patterns.
+
+        Small expiries use per-pattern deletion; when more than
+        ``_REBUILD_FRACTION`` of the corpus goes at once the tree is
+        rebuilt from the survivors with one bulk load, which is linear
+        instead of quadratic and yields a better-packed tree.
         """
-        doomed = [p for p in self.all_patterns() if predicate(p)]
+        entries = self.all_entries()
+        doomed = [entry for entry in entries if predicate(entry.payload)]
+        if not doomed:
+            return 0
+        if (
+            len(doomed) >= self._REBUILD_MIN_DOOMED
+            and len(doomed) >= self._REBUILD_FRACTION * len(entries)
+        ):
+            doomed_ids = {id(entry) for entry in doomed}
+            survivors = [
+                (entry.signature, entry.payload)
+                for entry in entries
+                if id(entry) not in doomed_ids
+            ]
+            self.root = Node(is_leaf=True)
+            self._size = 0
+            self._consequence_index = None
+            if survivors:
+                self.bulk_load(survivors)
+            return len(doomed)
         removed = 0
-        for pattern in doomed:
-            if self.remove_pattern(pattern):
+        for entry in doomed:
+            if self.remove_pattern(entry.payload):
                 removed += 1
         return removed
 

@@ -504,11 +504,20 @@ def run_pruning_ablation(
     """Pruned vs unpruned rule counts (Section IV reports a 58 % reduction)."""
     model = fit_model(dataset, scale, **config_overrides)
     pruned = model.pattern_count
+    stats = model.mining_stats_
+    # Reuse the mining run's vertical masks when they were counted over
+    # the same transaction universe; recompute otherwise.
+    masks = (
+        stats.region_masks
+        if stats.num_transactions == scale.training_subtrajectories
+        else None
+    )
     unpruned = count_rules_unpruned(
         model.patterns_,
         model.regions_,
         scale.training_subtrajectories,
         model.config.min_confidence,
+        masks=masks,
     )
     reduction = 0.0 if unpruned == 0 else 100.0 * (1.0 - pruned / unpruned)
     return {

@@ -72,6 +72,11 @@ class RecursiveMotionFunction(MotionFunction):
         self._last_t: int | None = None
         self._max_step: float | None = None
         self._cache: dict[int, Point] = {}
+        # (time, last f positions) of the furthest walk so far: later
+        # queries resume stepping from here instead of re-walking from the
+        # fit window — the recurrence is deterministic, so the resumed
+        # walk produces the exact same points.
+        self._frontier: tuple[int, np.ndarray] | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -105,6 +110,7 @@ class RecursiveMotionFunction(MotionFunction):
         self._history = positions[-f:].copy()
         self._last_t = int(samples[-1].t)
         self._cache = {}
+        self._frontier = None
         return self
 
     def predict(self, t: int) -> Point:
@@ -119,8 +125,14 @@ class RecursiveMotionFunction(MotionFunction):
         if t in self._cache:
             return self._cache[t]
 
-        history = self._history.copy()  # oldest first, length f
-        current = self._last_t
+        # Every step between last_t and the frontier is in the cache, so a
+        # cache miss is beyond the frontier: resume from it rather than
+        # re-walking the whole span from the fit window.
+        if self._frontier is not None and self._frontier[0] < t:
+            current, history = self._frontier
+        else:
+            history = self._history.copy()  # oldest first, length f
+            current = self._last_t
         point = Point(float(history[-1, 0]), float(history[-1, 1]))
         while current < t:
             nxt = self._step(history)
@@ -128,6 +140,7 @@ class RecursiveMotionFunction(MotionFunction):
             current += 1
             point = Point(float(nxt[0]), float(nxt[1]))
             self._cache[current] = point
+        self._frontier = (current, history)
         return point
 
     def _step(self, history: np.ndarray) -> np.ndarray:
