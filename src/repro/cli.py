@@ -228,7 +228,20 @@ def _cmd_fit(args) -> int:
         f"wrote {args.output}: {len(fleet)} object(s), "
         f"{fleet.total_patterns()} trajectory patterns"
     )
+    print(_fit_phase_line(fleet.fit_phase_totals()))
     return 0
+
+
+def _fit_phase_line(totals: dict[str, float]) -> str:
+    """Human-readable per-phase fit time, e.g. for `repro fit` output."""
+    if not totals:
+        return "fit phases: (no timing recorded)"
+    parts = ", ".join(
+        f"{phase}={totals[phase]:.2f}s"
+        for phase in ("cluster", "mine", "index")
+        if phase in totals
+    )
+    return f"fit phases: {parts}"
 
 
 def _parse_recent(spec: str) -> list[TimedPoint]:
@@ -302,6 +315,7 @@ def _cmd_serve(args) -> int:
     path = Path(args.model)
     if path.is_dir():
         fleet = load_fleet(path, max_workers=args.warmup_workers)
+        print(f"warmed up {len(fleet)} object(s); {_fit_phase_line(fleet.fit_phase_totals())}")
     else:
         model = load_model(path)
         fleet = FleetPredictionModel(model.config)

@@ -10,11 +10,22 @@ This is the classic label-propagation formulation: a point with at least
 ``min_pts`` neighbours within ``eps`` (itself included) is a *core* point;
 clusters are the maximal sets of density-connected core points plus their
 border points; everything else is noise (label ``-1``).
+
+Implementation notes
+--------------------
+All ε-neighbourhoods come from one batched :meth:`GridIndex.neighborhoods`
+call (CSR adjacency), and each cluster expansion is a level-synchronous
+BFS over CSR slices — whole frontiers are claimed and expanded with array
+ops instead of a per-point Python queue.  The labels are identical to the
+classic one-point-at-a-time loop: a point's final label depends only on
+the seed order (ascending point index) and on which clusters can reach
+it, never on the order points are visited *within* one expansion — border
+points are claimed by the earliest-discovered adjacent cluster either
+way.  The test suite pins this equivalence against a brute-force oracle.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -85,33 +96,40 @@ def dbscan(points: np.ndarray, eps: float, min_pts: int) -> DBSCANResult:
         return DBSCANResult(labels=labels, num_clusters=0, core_mask=core_mask)
 
     index = GridIndex(points, eps)
-    # Precompute neighbourhoods once; DBSCAN revisits them during expansion.
-    neighborhoods: list[np.ndarray] = [index.neighbors(i) for i in range(n)]
-    core_mask = np.array([len(nb) >= min_pts for nb in neighborhoods], dtype=bool)
+    indptr, indices = index.neighborhoods()
+    core_mask = (indptr[1:] - indptr[:-1]) >= min_pts
+
+    # Non-core points can never seed a cluster; in the classic loop each
+    # sits provisionally at NOISE until some expansion claims it as a
+    # border member.  Marking them NOISE upfront is label-identical and
+    # lets the frontier logic distinguish "unclaimed core" (_UNVISITED)
+    # from "unclaimed border candidate" (NOISE) with one comparison.
+    labels[~core_mask] = NOISE
 
     cluster_id = 0
     for seed in range(n):
         if labels[seed] != _UNVISITED:
             continue
-        if not core_mask[seed]:
-            # Classic DBSCAN: provisionally noise.  A later cluster
-            # expansion may still reach this point and relabel it as a
-            # border member (the NOISE -> border path below).
-            labels[seed] = NOISE
-            continue
-        # Breadth-first expansion from an unclaimed core point.
+        # Level-synchronous BFS from an unclaimed core point.
         labels[seed] = cluster_id
-        queue: deque[int] = deque(int(j) for j in neighborhoods[seed])
-        while queue:
-            j = queue.popleft()
-            if labels[j] == NOISE:
-                labels[j] = cluster_id  # border point previously marked noise
-            if labels[j] != _UNVISITED:
-                continue
-            labels[j] = cluster_id
-            if core_mask[j]:
-                queue.extend(int(k) for k in neighborhoods[j])
+        frontier = indices[indptr[seed] : indptr[seed + 1]]
+        while frontier.size:
+            status = labels[frontier]
+            # Unclaimed cores join and keep expanding; unclaimed
+            # non-cores (still NOISE) join as border points and stop.
+            expand = np.unique(frontier[status == _UNVISITED])
+            border = frontier[status == NOISE]
+            labels[border] = cluster_id
+            if expand.size == 0:
+                break
+            labels[expand] = cluster_id
+            row_start = indptr[expand]
+            row_count = indptr[expand + 1] - row_start
+            total = int(row_count.sum())
+            prefix = np.cumsum(row_count) - row_count
+            frontier = indices[
+                np.repeat(row_start - prefix, row_count) + np.arange(total)
+            ]
         cluster_id += 1
 
-    labels[labels == _UNVISITED] = NOISE
     return DBSCANResult(labels=labels, num_clusters=cluster_id, core_mask=core_mask)

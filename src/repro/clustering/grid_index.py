@@ -5,16 +5,30 @@ side ε answers it by scanning the 3x3 block of cells around the query point,
 which keeps region discovery linear-ish in practice for the paper's offset
 groups (a few hundred points each) and scales to the large synthetic corpora
 used by the TPT benchmarks.
+
+Two query shapes are offered:
+
+* :meth:`GridIndex.neighbors` / :meth:`GridIndex.neighbors_of_point` — one
+  ε-neighbourhood at a time (the classic probe);
+* :meth:`GridIndex.neighborhoods` — every point's ε-neighbourhood in one
+  batched pass, returned as CSR-style ``(indptr, indices)`` adjacency.
+  Candidate gathering and distance filtering are vectorised over whole
+  cell blocks, so the batch costs a handful of numpy passes instead of
+  ``n`` Python-level probes; DBSCAN's fit path consumes this form.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 
 import numpy as np
 
 __all__ = ["GridIndex"]
+
+# Cap on the (row, candidate) scratch pairs materialised per filtering
+# chunk inside neighborhoods(); bounds peak memory for dense inputs where
+# whole groups collapse into one cell (worst case n^2 candidate pairs).
+_MAX_CHUNK_PAIRS = 1 << 21
 
 
 class GridIndex:
@@ -23,12 +37,23 @@ class GridIndex:
     Parameters
     ----------
     points:
-        ``(n, 2)`` array of the indexed points.
+        ``(n, 2)`` array of the indexed points.  Coordinates must be
+        finite — NaN/inf would silently hash into one garbage bucket and
+        corrupt every neighbourhood answer, so they are rejected here.
     eps:
         Query radius; also the grid cell side.
     """
 
-    __slots__ = ("_points", "_eps", "_cells")
+    __slots__ = (
+        "_points",
+        "_eps",
+        "_cells",
+        "_cell_keys",
+        "_cell_start",
+        "_cell_count",
+        "_point_order",
+        "_point_cell",
+    )
 
     def __init__(self, points: np.ndarray, eps: float):
         points = np.asarray(points, dtype=np.float64)
@@ -36,12 +61,47 @@ class GridIndex:
             raise ValueError(f"points must have shape (n, 2), got {points.shape}")
         if not math.isfinite(eps) or eps <= 0:
             raise ValueError(f"eps must be a positive finite number, got {eps}")
+        if points.size and not np.isfinite(points).all():
+            bad = int(np.nonzero(~np.isfinite(points).all(axis=1))[0][0])
+            raise ValueError(
+                "points must have finite coordinates; "
+                f"point {bad} is {points[bad].tolist()}"
+            )
         self._points = points
         self._eps = float(eps)
-        cells: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for i, (x, y) in enumerate(points):
-            cells[self._cell_of(x, y)].append(i)
-        self._cells = dict(cells)
+        n = points.shape[0]
+        if n == 0:
+            self._cells: dict[tuple[int, int], list[int]] = {}
+            self._cell_keys = np.empty((0, 2), dtype=np.int64)
+            self._cell_start = np.empty(0, dtype=np.int64)
+            self._cell_count = np.empty(0, dtype=np.int64)
+            self._point_order = np.empty(0, dtype=np.int64)
+            self._point_cell = np.empty(0, dtype=np.int64)
+            return
+        # np.floor(x / eps) in float64 matches int(math.floor(x / eps))
+        # exactly for finite coordinates, so the vectorised build fills
+        # the same buckets as a per-point Python loop.
+        coords = np.floor(points / self._eps).astype(np.int64)
+        cell_keys, point_cell = np.unique(coords, axis=0, return_inverse=True)
+        point_cell = point_cell.reshape(-1).astype(np.int64, copy=False)
+        order = np.argsort(point_cell, kind="stable")
+        counts = np.bincount(point_cell, minlength=cell_keys.shape[0]).astype(
+            np.int64
+        )
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+        self._cell_keys = cell_keys
+        self._cell_start = starts
+        self._cell_count = counts
+        self._point_order = order
+        self._point_cell = point_cell
+        # Bucket lists for the per-point probe path; stable argsort keeps
+        # each bucket in ascending point order, same as appending i = 0..n.
+        self._cells = {
+            (int(cx), int(cy)): order[s : s + c].tolist()
+            for (cx, cy), s, c in zip(
+                cell_keys.tolist(), starts.tolist(), counts.tolist()
+            )
+        }
 
     @property
     def eps(self) -> float:
@@ -80,6 +140,90 @@ class GridIndex:
         diffs = self._points[cand] - np.array([x, y], dtype=np.float64)
         dist2 = np.einsum("ij,ij->i", diffs, diffs)
         return cand[dist2 <= self._eps * self._eps]
+
+    def neighborhoods(self) -> tuple[np.ndarray, np.ndarray]:
+        """Every point's ε-neighbourhood as CSR ``(indptr, indices)`` arrays.
+
+        ``indices[indptr[i]:indptr[i + 1]]`` holds the same point indices,
+        in the same order, as ``neighbors(i)`` — the 3x3 cell-block probe
+        order (block offsets outermost, ascending point index within each
+        bucket) filtered by ``dist² <= eps²``.  All neighbourhoods are
+        computed with whole-block numpy distance math: for each of the 9
+        block offsets, every (point, candidate-cell) pairing is expanded
+        into flat index arrays, distance-filtered in bulk, and the kept
+        pairs assembled into CSR rows with one stable sort.
+        """
+        n = self._points.shape[0]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if n == 0:
+            return indptr, np.empty(0, dtype=np.int64)
+        points = self._points
+        eps2 = self._eps * self._eps
+        order = self._point_order
+        starts = self._cell_start
+        counts = self._cell_count
+        point_cell = self._point_cell
+        keys = [(int(cx), int(cy)) for cx, cy in self._cell_keys.tolist()]
+        key_to_cell = {key: g for g, key in enumerate(keys)}
+        num_cells = len(keys)
+
+        rows_kept: list[np.ndarray] = []
+        cols_kept: list[np.ndarray] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                # For every cell, the id of its (dx, dy) neighbour cell.
+                neighbor_cell = np.fromiter(
+                    (
+                        key_to_cell.get((cx + dx, cy + dy), -1)
+                        for cx, cy in keys
+                    ),
+                    dtype=np.int64,
+                    count=num_cells,
+                )
+                target = neighbor_cell[point_cell]  # (n,) candidate cell per point
+                row_idx = np.nonzero(target >= 0)[0]
+                if row_idx.size == 0:
+                    continue
+                cand_cell = target[row_idx]
+                cand_count = counts[cand_cell]
+                pair_cum = np.cumsum(cand_count)
+                total_pairs = int(pair_cum[-1])
+                if total_pairs == 0:
+                    continue
+                lo = 0
+                while lo < row_idx.size:
+                    base = int(pair_cum[lo - 1]) if lo else 0
+                    hi = int(
+                        np.searchsorted(pair_cum, base + _MAX_CHUNK_PAIRS, "right")
+                    )
+                    hi = max(hi, lo + 1)
+                    chunk_count = cand_count[lo:hi]
+                    chunk_total = int(pair_cum[hi - 1]) - base
+                    rows = np.repeat(row_idx[lo:hi], chunk_count)
+                    # Concatenate the candidate-cell slices of `order`
+                    # without a Python loop: per-row slice start, shifted
+                    # by the running position inside the chunk.
+                    slice_start = starts[cand_cell[lo:hi]]
+                    prefix = np.cumsum(chunk_count) - chunk_count
+                    cols = order[
+                        np.repeat(slice_start - prefix, chunk_count)
+                        + np.arange(chunk_total)
+                    ]
+                    diffs = points[rows] - points[cols]
+                    within = np.einsum("ij,ij->i", diffs, diffs) <= eps2
+                    rows_kept.append(rows[within])
+                    cols_kept.append(cols[within])
+                    lo = hi
+
+        all_rows = np.concatenate(rows_kept)
+        all_cols = np.concatenate(cols_kept)
+        # Stable sort by row preserves, within each row, the block-offset
+        # append order and the in-bucket candidate order — exactly the
+        # per-point probe's output order.
+        perm = np.argsort(all_rows, kind="stable")
+        indices = all_cols[perm]
+        np.cumsum(np.bincount(all_rows, minlength=n), out=indptr[1:])
+        return indptr, indices
 
     def count_within(self, x: float, y: float) -> int:
         """Number of indexed points within ``eps`` of ``(x, y)``."""

@@ -182,10 +182,35 @@ class FleetPredictionModel:
             for model in self._models.values():
                 model.bind_metrics(registry)
 
-    def _observe_fit(self, seconds: float) -> None:
+    def _observe_fit(
+        self, seconds: float, phases: Mapping[str, float] | None = None
+    ) -> None:
         if self._metrics is not None:
             self._metrics.counter("fleet_fit_objects_total").inc()
             self._metrics.histogram("fleet_fit_seconds").observe(seconds)
+            # Phase breakdown for models fitted in detached workers (the
+            # worker had no registry bound, so the model could not observe
+            # its own fit_phase_seconds_* samples).
+            if phases:
+                for phase, phase_seconds in phases.items():
+                    self._metrics.histogram(
+                        f"fit_phase_seconds_{phase}"
+                    ).observe(phase_seconds)
+
+    def fit_phase_totals(self) -> dict[str, float]:
+        """Summed per-phase fit seconds across all tracked models.
+
+        Aggregates :attr:`HybridPredictionModel.fit_phase_seconds_`
+        (cluster / mine / index) over the fleet; objects restored from
+        pre-phase-timing snapshots contribute nothing.
+        """
+        totals: dict[str, float] = {}
+        with self._registry_lock:
+            models = list(self._models.values())
+        for model in models:
+            for phase, seconds in model.fit_phase_seconds_.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
 
     # ------------------------------------------------------------------
     # container protocol
@@ -255,7 +280,7 @@ class FleetPredictionModel:
         )
         for object_id, (model, seconds) in results.items():
             self.adopt_object(object_id, model)
-            self._observe_fit(seconds)
+            self._observe_fit(seconds, model.fit_phase_seconds_)
         if failures:
             raise FleetFitError(failures)
         return self

@@ -220,6 +220,43 @@ class KeyCodec:
         rk = self.premise_key(pattern.premise)
         return self._combine(ck, rk)
 
+    def encode_values(self, patterns: Sequence[TrajectoryPattern]) -> list[int]:
+        """Raw key values of many patterns at once.
+
+        Returns ``[self.encode_pattern(p).value for p in patterns]`` without
+        building intermediate :class:`PatternKey` objects: region ids and
+        pre-shifted consequence keys are looked up from plain dicts, and
+        premise keys are memoised per distinct premise tuple (mined corpora
+        reuse each premise across many consequences).  Raises the same
+        error as :meth:`encode_pattern` for unknown consequence offsets.
+        """
+        region_ids = {region: rid for rid, region in enumerate(self._regions)}
+        shift = self.premise_length
+        ck_shifted = {t: (1 << i) << shift for t, i in self._offset_ids.items()}
+        premise_cache: dict[tuple[FrequentRegion, ...], int] = {}
+        values: list[int] = []
+        for pattern in patterns:
+            premise = pattern.premise
+            rk = premise_cache.get(premise)
+            if rk is None:
+                rk = 0
+                for region in premise:
+                    rid = region_ids.get(region)
+                    if rid is None:
+                        # Same KeyError (with label) encode_pattern raises.
+                        self._regions.region_id(region)
+                    rk |= 1 << rid
+                premise_cache[premise] = rk
+            try:
+                ck = ck_shifted[pattern.consequence.offset]
+            except KeyError:
+                raise ValueError(
+                    f"consequence offset {pattern.consequence.offset} not in "
+                    "the consequence-key table; rebuild the codec"
+                ) from None
+            values.append(ck | rk)
+        return values
+
     def encode_query(
         self, recent_regions: Iterable[FrequentRegion], query_offset: int
     ) -> PatternKey:

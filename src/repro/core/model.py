@@ -69,6 +69,7 @@ class HybridPredictionModel:
         self._tree: TrajectoryPatternTree | None = None
         self._predictor: HybridPredictor | None = None
         self._metrics = None
+        self._fit_phase_seconds: dict[str, float] = {}
 
     def bind_metrics(self, registry) -> None:
         """Attach a metrics registry to instrument the predict hot path.
@@ -99,7 +100,9 @@ class HybridPredictionModel:
                 f"period ({self.config.period}); nothing periodic to mine"
             )
         self._history = trajectory
+        self._fit_phase_seconds = {}
         self._rebuild()
+        self._observe_fit_phases()
         return self
 
     def update(self, new_positions: np.ndarray | Sequence[Sequence[float]]) -> "HybridPredictionModel":
@@ -121,6 +124,7 @@ class HybridPredictionModel:
         old_by_identity = {
             (p.premise, p.consequence): p for p in self._patterns
         }
+        self._fit_phase_seconds = {}
         self._mine(self._history)
         if (
             old_codec is not None
@@ -132,6 +136,7 @@ class HybridPredictionModel:
             # patterns whose confidence/support moved replace their stale
             # entry.  Patterns that no longer clear the thresholds are
             # retired.
+            index_start = time.perf_counter()
             new_identities = set()
             for pattern in self._patterns:
                 identity = (pattern.premise, pattern.consequence)
@@ -149,8 +154,10 @@ class HybridPredictionModel:
                 if identity not in new_identities:
                     self._tree.remove_pattern(old)
             self._refresh_predictor()
+            self._fit_phase_seconds["index"] = time.perf_counter() - index_start
         else:
             self._build_index()
+        self._observe_fit_phases()
         return self
 
     def _rebuild(self) -> None:
@@ -165,6 +172,7 @@ class HybridPredictionModel:
         patterns: list[TrajectoryPattern],
     ) -> None:
         """Install pre-mined state (used by :mod:`repro.core.persistence`)."""
+        self._fit_phase_seconds = {}
         self._history = history
         self._regions = regions
         self._patterns = list(patterns)
@@ -179,9 +187,12 @@ class HybridPredictionModel:
 
     def _mine(self, trajectory: Trajectory) -> None:
         cfg = self.config
+        phase_start = time.perf_counter()
         self._regions = discover_frequent_regions(
             trajectory, period=cfg.period, eps=cfg.eps, min_pts=cfg.min_pts
         )
+        mine_start = time.perf_counter()
+        self._fit_phase_seconds["cluster"] = mine_start - phase_start
         num_subs = (len(trajectory) + cfg.period - 1) // cfg.period
         if len(self._regions) == 0:
             self._patterns = []
@@ -191,6 +202,7 @@ class HybridPredictionModel:
                 num_frequent_premises=0,
                 num_patterns=0,
             )
+            self._fit_phase_seconds["mine"] = time.perf_counter() - mine_start
             return
         patterns, stats = mine_trajectory_patterns(
             self._regions,
@@ -205,9 +217,11 @@ class HybridPredictionModel:
         )
         self._patterns = patterns
         self._mining_stats = stats
+        self._fit_phase_seconds["mine"] = time.perf_counter() - mine_start
 
     def _build_index(self) -> None:
         assert self._regions is not None
+        index_start = time.perf_counter()
         if len(self._regions) == 0 or not self._patterns:
             # Pattern-free degenerate mode: every query falls back to the
             # motion function, exactly as Algorithms 2/3 prescribe when no
@@ -215,6 +229,7 @@ class HybridPredictionModel:
             self._codec = None
             self._tree = None
             self._predictor = None
+            self._fit_phase_seconds["index"] = time.perf_counter() - index_start
             return
         self._codec = KeyCodec.from_patterns(self._regions, self._patterns)
         self._tree = TrajectoryPatternTree(
@@ -224,6 +239,20 @@ class HybridPredictionModel:
         )
         self._tree.bulk_load_patterns(self._patterns)
         self._refresh_predictor()
+        self._fit_phase_seconds["index"] = time.perf_counter() - index_start
+
+    def _observe_fit_phases(self, registry=None) -> None:
+        """Record the last fit's phase timings into a metrics registry.
+
+        Observes ``fit_phase_seconds_{cluster,mine,index}`` histograms on
+        the bound registry (or an explicit one — used when a model fitted
+        in a detached worker is adopted by an instrumented fleet).
+        """
+        registry = registry if registry is not None else self._metrics
+        if registry is None:
+            return
+        for phase, seconds in self.fit_phase_seconds_.items():
+            registry.histogram(f"fit_phase_seconds_{phase}").observe(seconds)
 
     def _refresh_predictor(self) -> None:
         assert self._regions is not None
@@ -434,6 +463,17 @@ class HybridPredictionModel:
         """The live query processor (``None`` in pattern-free mode)."""
         self._require_fitted()
         return self._predictor
+
+    @property
+    def fit_phase_seconds_(self) -> dict[str, float]:
+        """Wall-clock seconds of the last fit/update, keyed by phase.
+
+        Phases: ``cluster`` (frequent-region discovery), ``mine`` (pattern
+        mining) and ``index`` (key tables + TPT build, or the incremental
+        insertion pass on update).  Empty before the first fit, and for
+        models restored from snapshots written by older versions.
+        """
+        return dict(getattr(self, "_fit_phase_seconds", None) or {})
 
     @property
     def pattern_count(self) -> int:

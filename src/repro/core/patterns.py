@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, Sequence
 
+from ..signature import bitset
 from .regions import FrequentRegion, RegionSet
 
 __all__ = [
@@ -79,6 +80,28 @@ class TrajectoryPattern:
             raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
         if self.support < 1:
             raise ValueError(f"support must be >= 1, got {self.support}")
+
+    @classmethod
+    def _unchecked(
+        cls,
+        premise: tuple[FrequentRegion, ...],
+        consequence: FrequentRegion,
+        support: int,
+        confidence: float,
+    ) -> "TrajectoryPattern":
+        """Construct without re-running ``__post_init__`` validation.
+
+        For callers whose construction already guarantees the invariants
+        (the miner builds premises in strictly increasing offset order and
+        only pairs them with later consequences); public constructions go
+        through the validating ``__init__``.
+        """
+        self = object.__new__(cls)
+        self.__dict__["premise"] = premise
+        self.__dict__["consequence"] = consequence
+        self.__dict__["support"] = support
+        self.__dict__["confidence"] = confidence
+        return self
 
     @property
     def premise_offsets(self) -> tuple[int, ...]:
@@ -141,11 +164,11 @@ def region_visit_masks(
     """Vertical representation: region -> bitmask of visiting sub-trajectories."""
     masks: dict[FrequentRegion, int] = {}
     for region in regions:
-        mask = 0
-        for sub_id in set(region.subtrajectory_ids):
-            if 0 <= sub_id < num_subtrajectories:
-                mask |= 1 << sub_id
-        masks[region] = mask
+        masks[region] = bitset.from_indices(
+            sub_id
+            for sub_id in set(region.subtrajectory_ids)
+            if 0 <= sub_id < num_subtrajectories
+        )
     return masks
 
 
@@ -278,12 +301,12 @@ def mine_trajectory_patterns(
                 continue
             confidence = support / premise_support
             if confidence >= min_confidence:
+                # Construction invariants hold here (ascending premise,
+                # later consequence, support >= 1, confidence <= 1), so
+                # skip the per-pattern __post_init__ re-validation.
                 patterns.append(
-                    TrajectoryPattern(
-                        premise=premise,
-                        consequence=region,
-                        support=support,
-                        confidence=confidence,
+                    TrajectoryPattern._unchecked(
+                        premise, region, support, confidence
                     )
                 )
 

@@ -220,28 +220,67 @@ def discover_frequent_regions(
     For every time offset ``t`` the offset group ``G_t`` is clustered with
     DBSCAN(eps, min_pts); each resulting cluster becomes a frequent region
     ``R_t^j`` with ``j`` numbered in cluster-discovery order.
+
+    The offset grouping is computed once over the stacked trajectory (one
+    ``argsort`` instead of ``T`` full masking passes), and cluster members,
+    bounding boxes and contributor ids come from array slices/reductions
+    over label-sorted views.  Per-cluster centroids keep the exact
+    ``points.mean(axis=0)`` reduction so the fitted regions stay
+    byte-identical to the per-group reference path.
     """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    positions = trajectory.positions
+    n = positions.shape[0]
+    # Stack all offset groups at once: stable sort by offset keeps rows in
+    # ascending trajectory order within each group, matching offset_group().
+    row_idx = np.arange(n, dtype=np.int64)
+    offsets_all = (trajectory.start_time + row_idx) % period
+    group_order = np.argsort(offsets_all, kind="stable")
+    group_counts = np.bincount(offsets_all, minlength=period)
+    group_starts = np.concatenate(([0], np.cumsum(group_counts)[:-1]))
+
     regions: list[FrequentRegion] = []
-    for group in trajectory.offset_groups(period):
-        if len(group) == 0:
+    for offset in range(period):
+        count = int(group_counts[offset])
+        if count == 0:
             continue
-        result = dbscan(group.positions, eps=eps, min_pts=min_pts)
+        rows = group_order[group_starts[offset] : group_starts[offset] + count]
+        group_points = positions[rows]
+        group_subs = rows // period
+        result = dbscan(group_points, eps=eps, min_pts=min_pts)
+        if result.num_clusters == 0:
+            continue
+        # All cluster member lists in one stable sort of the labels:
+        # noise (-1) sorts first, then each cluster's members in
+        # ascending group order — the same order members(j) returns.
+        labels = result.labels
+        label_order = np.argsort(labels, kind="stable")
+        member_counts = np.bincount(
+            labels[labels >= 0], minlength=result.num_clusters
+        )
+        member_starts = (count - int(member_counts.sum())) + np.concatenate(
+            ([0], np.cumsum(member_counts)[:-1])
+        )
         for j in range(result.num_clusters):
-            member_idx = result.members(j)
-            points = group.positions[member_idx]
+            member_idx = label_order[
+                member_starts[j] : member_starts[j] + member_counts[j]
+            ]
+            points = group_points[member_idx]
             centroid = points.mean(axis=0)
+            xs = points[:, 0]
+            ys = points[:, 1]
             regions.append(
                 FrequentRegion(
-                    offset=group.offset,
+                    offset=offset,
                     index=j,
                     center=Point(float(centroid[0]), float(centroid[1])),
                     points=points,
-                    bbox=BoundingBox.from_points(
-                        [(float(x), float(y)) for x, y in points]
+                    bbox=BoundingBox(
+                        float(xs.min()), float(ys.min()),
+                        float(xs.max()), float(ys.max()),
                     ),
-                    subtrajectory_ids=tuple(
-                        int(s) for s in group.subtrajectory_ids[member_idx]
-                    ),
+                    subtrajectory_ids=tuple(group_subs[member_idx].tolist()),
                 )
             )
     return RegionSet(regions, period=period, eps=eps)

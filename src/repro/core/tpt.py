@@ -88,10 +88,8 @@ class TrajectoryPatternTree(SignatureTree):
 
     def bulk_load_patterns(self, patterns: Sequence[TrajectoryPattern]) -> None:
         """Sorted-key bulk load of a mined pattern corpus (static data path)."""
-        items = [
-            (self.codec.encode_pattern(p).value, p) for p in patterns
-        ]
-        self.bulk_load(items)
+        values = self.codec.encode_values(patterns)
+        self.bulk_load(list(zip(values, patterns)))
 
     def consequence_index(self) -> dict[int, list]:
         """The consequence-offset inverted index, building it if stale.

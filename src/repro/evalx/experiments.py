@@ -19,7 +19,11 @@ import numpy as np
 from ..core.config import HPMConfig
 from ..core.keys import KeyCodec
 from ..core.model import HybridPredictionModel
-from ..core.patterns import TrajectoryPattern, count_rules_unpruned
+from ..core.patterns import (
+    TrajectoryPattern,
+    count_rules_unpruned,
+    region_visit_masks,
+)
 from ..core.prediction import HybridPredictor
 from ..core.regions import FrequentRegion, RegionSet
 from ..core.tpt import TrajectoryPatternTree
@@ -506,11 +510,13 @@ def run_pruning_ablation(
     pruned = model.pattern_count
     stats = model.mining_stats_
     # Reuse the mining run's vertical masks when they were counted over
-    # the same transaction universe; recompute otherwise.
+    # the same transaction universe; rebuild them from the fitted regions
+    # otherwise, so the ablation always counts through the shipped bitmap
+    # path (never the subset-scan fallback).
     masks = (
         stats.region_masks
         if stats.num_transactions == scale.training_subtrajectories
-        else None
+        else region_visit_masks(model.regions_, scale.training_subtrajectories)
     )
     unpruned = count_rules_unpruned(
         model.patterns_,

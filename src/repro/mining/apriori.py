@@ -14,22 +14,43 @@ The implementation follows the textbook structure:
    a ``(k-2)``-prefix (in a canonical item order).
 3. Prune: drop candidates with an infrequent ``(k-1)``-subset (downward
    closure).
-4. Count candidates against the transactions and iterate.
+4. Count candidates and iterate.
+
+Items are interned into one canonical order per mining run (frequent items
+sorted by ``repr``, a total order over arbitrary — including mixed-type —
+hashables); every itemset thereafter is an ascending tuple of item *ids*,
+so the join/prune levels never re-sort or re-wrap item objects.
+
+Two counting backends are offered:
+
+* ``backend="bitmap"`` (default) — vertical counting: each frequent item
+  carries the bitset of transactions containing it (built with
+  :mod:`repro.signature.bitset`), and a candidate's support is the
+  popcount of its parent's bitset AND-ed with the joined item's bitset —
+  one big-int AND per candidate instead of a scan over all transactions.
+* ``backend="scan"`` — the textbook O(candidates × transactions) subset
+  scan, kept as the oracle the equivalence tests check the bitmaps
+  against.
+
+Both backends produce identical results (same itemsets, same supports).
 
 An optional ``candidate_filter`` lets callers reject candidates that can
 never be useful (the paper's pruning of same-offset combinations), cutting
-work before the counting scan.
+work before the counting step.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from ..signature import bitset
 
 __all__ = ["find_frequent_itemsets", "itemset_support"]
 
 Item = Hashable
 Itemset = frozenset
+
+_BACKENDS = ("bitmap", "scan")
 
 
 def find_frequent_itemsets(
@@ -37,6 +58,7 @@ def find_frequent_itemsets(
     min_support: int,
     max_length: int | None = None,
     candidate_filter: Callable[[Itemset], bool] | None = None,
+    backend: str = "bitmap",
 ) -> dict[Itemset, int]:
     """Mine all itemsets appearing in at least ``min_support`` transactions.
 
@@ -54,6 +76,9 @@ def find_frequent_itemsets(
         filter returns ``True``.  Must be *anti-monotone-safe*: rejecting an
         itemset also rejects all its supersets from consideration, so only
         use predicates where no useful superset survives a rejected subset.
+    backend:
+        ``"bitmap"`` (vertical bitset counting, default) or ``"scan"``
+        (subset-scan oracle); see the module docstring.
 
     Returns
     -------
@@ -63,69 +88,117 @@ def find_frequent_itemsets(
         raise ValueError(f"min_support must be >= 1, got {min_support}")
     if max_length is not None and max_length < 1:
         raise ValueError(f"max_length must be >= 1, got {max_length}")
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
 
     sets = [frozenset(t) for t in transactions]
 
-    # Level 1: plain counting.
-    counts: dict[Item, int] = defaultdict(int)
-    for t in sets:
+    # Level 1: one pass counting each item and (for the bitmap backend)
+    # collecting its transaction-id occurrence list.
+    counts: dict[Item, int] = {}
+    occurrences: dict[Item, list[int]] = {}
+    for tid, t in enumerate(sets):
         for item in t:
-            counts[item] += 1
-    frequent: dict[Itemset, int] = {
-        frozenset((item,)): c for item, c in counts.items() if c >= min_support
-    }
-    if candidate_filter is not None:
-        frequent = {s: c for s, c in frequent.items() if candidate_filter(s)}
+            if item in counts:
+                counts[item] += 1
+                occurrences[item].append(tid)
+            else:
+                counts[item] = 1
+                occurrences[item] = [tid]
 
-    result: dict[Itemset, int] = dict(frequent)
+    frequent_items = [item for item, c in counts.items() if c >= min_support]
+    if candidate_filter is not None:
+        frequent_items = [
+            item for item in frequent_items if candidate_filter(frozenset((item,)))
+        ]
+    result: dict[Itemset, int] = {
+        frozenset((item,)): counts[item] for item in frequent_items
+    }
+    if max_length == 1 or len(frequent_items) < 2:
+        return result
+
+    # Canonical item order for the whole run: repr gives a total order
+    # over arbitrary (mixed-type) hashables; itemsets become ascending
+    # id tuples from here on.
+    items: list[Item] = sorted(frequent_items, key=repr)
+    if backend == "bitmap":
+        item_masks = [bitset.from_indices(occurrences[item]) for item in items]
+        level_masks: dict[tuple[int, ...], int] = {
+            (i,): item_masks[i] for i in range(len(items))
+        }
+
+    current_level: list[tuple[int, ...]] = [(i,) for i in range(len(items))]
     k = 2
-    current_level = list(frequent)
     while current_level and (max_length is None or k <= max_length):
-        candidates = _generate_candidates(current_level, k)
+        candidates = _generate_candidates(current_level)
         if candidate_filter is not None:
-            candidates = [c for c in candidates if candidate_filter(c)]
+            candidates = [
+                c
+                for c in candidates
+                if candidate_filter(frozenset(items[i] for i in c))
+            ]
         if not candidates:
             break
-        level_counts = _count_candidates(candidates, sets)
+
+        if backend == "bitmap":
+            # Candidate support = popcount of the joined bitsets; the
+            # join guarantees c[:-1] was frequent at the previous level,
+            # so its mask is already cached.
+            candidate_masks = {
+                c: level_masks[c[:-1]] & item_masks[c[-1]] for c in candidates
+            }
+            level_counts = {
+                c: mask.bit_count() for c, mask in candidate_masks.items()
+            }
+        else:
+            as_sets = {c: frozenset(items[i] for i in c) for c in candidates}
+            scan_counts = _count_candidates(list(as_sets.values()), sets)
+            level_counts = {c: scan_counts[as_sets[c]] for c in candidates}
+
         next_level = [c for c in candidates if level_counts[c] >= min_support]
         for c in next_level:
-            result[c] = level_counts[c]
+            result[frozenset(items[i] for i in c)] = level_counts[c]
+        if backend == "bitmap":
+            level_masks = {c: candidate_masks[c] for c in next_level}
         current_level = next_level
         k += 1
     return result
 
 
-def _generate_candidates(previous_level: Sequence[Itemset], k: int) -> list[Itemset]:
-    """Join + prune step producing length-``k`` candidates.
+def _generate_candidates(
+    previous_level: Sequence[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Join + prune over ascending item-id tuples.
 
-    Items are ordered by ``repr`` to get a canonical total order over
-    arbitrary hashable items; the join merges two itemsets sharing their
-    first ``k-2`` items.
+    Two frequent ``(k-1)``-itemsets sharing their first ``k-2`` ids join
+    into an ascending ``k``-tuple (the classic Apriori join — ascending
+    ids make the result canonical and duplicate-free by construction);
+    candidates with an infrequent ``(k-1)``-subset are pruned (downward
+    closure).
     """
     prev_set = set(previous_level)
-    sorted_prev = [tuple(sorted(s, key=repr)) for s in previous_level]
-    sorted_prev.sort()
-    candidates: list[Itemset] = []
-    seen: set[Itemset] = set()
+    sorted_prev = sorted(previous_level)
+    candidates: list[tuple[int, ...]] = []
     n = len(sorted_prev)
     for i in range(n):
+        a = sorted_prev[i]
+        prefix = a[:-1]
         for j in range(i + 1, n):
-            a, b = sorted_prev[i], sorted_prev[j]
-            if a[: k - 2] != b[: k - 2]:
+            b = sorted_prev[j]
+            if b[:-1] != prefix:
                 break  # sorted order: no later j can share the prefix either
-            candidate = frozenset(a) | frozenset((b[-1],))
-            if len(candidate) != k or candidate in seen:
-                continue
+            candidate = a + (b[-1],)
             if _all_subsets_frequent(candidate, prev_set):
-                seen.add(candidate)
                 candidates.append(candidate)
     return candidates
 
 
-def _all_subsets_frequent(candidate: Itemset, prev_set: set[Itemset]) -> bool:
+def _all_subsets_frequent(
+    candidate: tuple[int, ...], prev_set: set[tuple[int, ...]]
+) -> bool:
     """Downward-closure check: every (k-1)-subset must be frequent."""
-    for item in candidate:
-        if candidate - {item} not in prev_set:
+    for pos in range(len(candidate)):
+        if candidate[:pos] + candidate[pos + 1 :] not in prev_set:
             return False
     return True
 
@@ -133,7 +206,7 @@ def _all_subsets_frequent(candidate: Itemset, prev_set: set[Itemset]) -> bool:
 def _count_candidates(
     candidates: Sequence[Itemset], transactions: Sequence[frozenset]
 ) -> dict[Itemset, int]:
-    """Count each candidate's support with a subset scan."""
+    """Count each candidate's support with a subset scan (oracle backend)."""
     counts: dict[Itemset, int] = {c: 0 for c in candidates}
     for t in transactions:
         if len(t) < 2:

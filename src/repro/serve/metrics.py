@@ -24,6 +24,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "FIT_PHASE_BUCKETS",
+    "FIT_PHASES",
 ]
 
 #: Upper bounds (seconds) for latency histograms: 100µs .. 10s, roughly
@@ -45,6 +47,31 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     1.0,
     2.5,
     10.0,
+)
+
+#: The training pipeline's phase names, in execution order: frequent-region
+#: discovery (``cluster``), pattern mining (``mine``) and key-table/TPT
+#: construction (``index``).  Each lands in a ``fit_phase_seconds_{phase}``
+#: histogram when a registry is bound during fit or snapshot warm-up.
+FIT_PHASES: tuple[str, ...] = ("cluster", "mine", "index")
+
+#: Upper bounds (seconds) for the fit-phase histograms.  Fitting is
+#: seconds-to-minutes work, not microseconds, so the request-latency
+#: buckets would lump every sample into the top bucket; these run 1ms
+#: (trivial toy fits) up to 120s (large per-object histories).
+FIT_PHASE_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    120.0,
 )
 
 

@@ -36,7 +36,7 @@ from ..trajectory.point import TimedPoint
 from .batching import RequestBatcher
 from .cache import PredictionCache
 from .handlers import ApiError, route
-from .metrics import MetricsRegistry
+from .metrics import FIT_PHASE_BUCKETS, FIT_PHASES, MetricsRegistry
 
 __all__ = ["ServeConfig", "PredictionService", "PredictionServer"]
 
@@ -80,6 +80,21 @@ class PredictionService:
         self.config = config or ServeConfig()
         self.metrics = metrics or MetricsRegistry()
         fleet.bind_metrics(self.metrics)
+        # Register the fit-phase histograms with fit-scale buckets before
+        # any name-only get-or-create can claim them with latency buckets.
+        for phase in FIT_PHASES:
+            self.metrics.histogram(
+                f"fit_phase_seconds_{phase}",
+                help=f"seconds spent in the {phase} fit phase",
+                buckets=FIT_PHASE_BUCKETS,
+            )
+        # Replay the fleet's recorded fit-phase timings into the registry:
+        # warmed-up models were fitted before this registry existed (in a
+        # worker, a CLI fit run, or a snapshot write), so /metrics would
+        # otherwise never show where their fit time went.
+        for object_id in fleet.object_ids():
+            model = fleet[object_id]
+            model._observe_fit_phases(self.metrics)
         self.cache = PredictionCache(
             max_entries=self.config.cache_entries,
             ttl=self.config.cache_ttl,

@@ -1,0 +1,150 @@
+"""Randomized equivalence suite: CSR DBSCAN vs a brute-force oracle.
+
+The fast path (batched CSR neighbourhoods + level-synchronous BFS) claims
+*identical* labels to the classic one-point-at-a-time algorithm.  The
+oracle here is the textbook formulation computed from an O(n²) distance
+matrix with a FIFO queue — no grid, no CSR, no batching — so any ordering
+or reachability bug in the fast path shows up as a label mismatch.
+"""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.clustering import NOISE, dbscan
+
+_UNVISITED = -2
+
+
+def brute_force_dbscan(points: np.ndarray, eps: float, min_pts: int) -> np.ndarray:
+    """Classic DBSCAN over an O(n²) distance matrix (the oracle)."""
+    n = points.shape[0]
+    labels = np.full(n, _UNVISITED, dtype=np.int64)
+    if n == 0:
+        return labels
+    diffs = points[:, None, :] - points[None, :, :]
+    dist2 = np.einsum("ijk,ijk->ij", diffs, diffs)
+    neighborhoods = [np.nonzero(dist2[i] <= eps * eps)[0] for i in range(n)]
+    core = np.array([len(nb) >= min_pts for nb in neighborhoods], dtype=bool)
+
+    cluster_id = 0
+    for seed in range(n):
+        if labels[seed] != _UNVISITED:
+            continue
+        if not core[seed]:
+            labels[seed] = NOISE
+            continue
+        labels[seed] = cluster_id
+        queue = deque(int(j) for j in neighborhoods[seed])
+        while queue:
+            j = queue.popleft()
+            if labels[j] == NOISE:
+                labels[j] = cluster_id
+            if labels[j] != _UNVISITED:
+                continue
+            labels[j] = cluster_id
+            if core[j]:
+                queue.extend(int(k) for k in neighborhoods[j])
+        cluster_id += 1
+
+    labels[labels == _UNVISITED] = NOISE
+    return labels
+
+
+def assert_identical(points, eps, min_pts):
+    points = np.asarray(points, dtype=np.float64)
+    result = dbscan(points, eps=eps, min_pts=min_pts)
+    expected = brute_force_dbscan(points, eps=eps, min_pts=min_pts)
+    assert result.labels.tolist() == expected.tolist()
+    assert result.num_clusters == (expected.max() + 1 if expected.size else 0)
+
+
+class TestOracleEdgeCases:
+    def test_empty(self):
+        result = dbscan(np.empty((0, 2)), eps=1.0, min_pts=2)
+        assert result.labels.size == 0 and result.num_clusters == 0
+
+    def test_all_noise(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        assert_identical(pts, eps=1.0, min_pts=2)
+        assert dbscan(pts, eps=1.0, min_pts=2).num_clusters == 0
+
+    def test_min_pts_one_every_point_is_core(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [10.2, 0.0]])
+        assert_identical(pts, eps=1.0, min_pts=1)
+        result = dbscan(pts, eps=1.0, min_pts=1)
+        assert NOISE not in result.labels
+
+    def test_duplicate_points(self):
+        pts = np.array([[1.0, 1.0]] * 5 + [[8.0, 8.0]] * 2 + [[20.0, 20.0]])
+        assert_identical(pts, eps=0.5, min_pts=3)
+
+    def test_border_point_tie_goes_to_earliest_cluster(self):
+        # Two core points at x=0 and x=2, with a non-core border point at
+        # x=1 within eps of both (its own neighbourhood is only 3 < 4, so
+        # it cannot bridge the clusters).  The earliest-discovered cluster
+        # (seeded at index 0) must claim it — in the classic loop and in
+        # the BFS alike.
+        pts = np.array(
+            [
+                [0.0, 0.0], [0.0, 0.1], [0.0, -0.1],   # cluster around x=0
+                [2.0, 0.0], [2.0, 0.1], [2.0, -0.1],   # cluster around x=2
+                [1.0, 0.0],                            # shared border point
+            ]
+        )
+        assert_identical(pts, eps=1.0, min_pts=4)
+        result = dbscan(pts, eps=1.0, min_pts=4)
+        assert not result.core_mask[6]
+        assert result.num_clusters == 2
+        assert result.labels[6] == result.labels[0] == 0
+        assert result.labels[3] == 1
+
+    def test_chain_of_cores_single_cluster(self):
+        pts = np.array([[float(i) * 0.9, 0.0] for i in range(30)])
+        assert_identical(pts, eps=1.0, min_pts=2)
+        assert dbscan(pts, eps=1.0, min_pts=2).num_clusters == 1
+
+    def test_single_point(self):
+        assert_identical(np.array([[3.0, 4.0]]), eps=1.0, min_pts=1)
+        assert_identical(np.array([[3.0, 4.0]]), eps=1.0, min_pts=2)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_uniform(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 120))
+    pts = rng.uniform(-30, 30, size=(n, 2))
+    eps = float(rng.uniform(0.5, 8.0))
+    min_pts = int(rng.integers(1, 7))
+    assert_identical(pts, eps=eps, min_pts=min_pts)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_blobs(seed):
+    rng = np.random.default_rng(1000 + seed)
+    centers = rng.uniform(-20, 20, size=(int(rng.integers(1, 5)), 2))
+    pts = np.vstack(
+        [c + rng.normal(0, 1.5, size=(int(rng.integers(3, 30)), 2)) for c in centers]
+    )
+    assert_identical(pts, eps=float(rng.uniform(0.8, 4.0)), min_pts=int(rng.integers(2, 6)))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_with_duplicates(seed):
+    rng = np.random.default_rng(2000 + seed)
+    base = rng.uniform(-10, 10, size=(int(rng.integers(2, 25)), 2))
+    # Sample with replacement: guaranteed duplicate coordinates.
+    pts = base[rng.integers(0, base.shape[0], size=60)]
+    assert_identical(pts, eps=float(rng.uniform(0.5, 3.0)), min_pts=int(rng.integers(1, 6)))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_grid_ties(seed):
+    # Integer-lattice points at exactly eps spacing: every neighbourhood
+    # boundary is a tie, stressing the <= eps comparison consistency.
+    rng = np.random.default_rng(3000 + seed)
+    xs, ys = np.meshgrid(np.arange(6, dtype=np.float64), np.arange(6, dtype=np.float64))
+    lattice = np.column_stack([xs.ravel(), ys.ravel()])
+    pts = lattice[rng.random(lattice.shape[0]) < 0.7]
+    assert_identical(pts, eps=1.0, min_pts=int(rng.integers(1, 5)))

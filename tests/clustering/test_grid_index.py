@@ -77,6 +77,82 @@ class TestGridIndex:
                     assert j not in got
 
 
+class TestInputValidation:
+    """NaN/inf coordinates must be rejected up front: floor-of-NaN would
+    silently hash every bad point into one garbage bucket and corrupt the
+    neighbourhood answers for the whole index."""
+
+    def test_rejects_nan_points(self):
+        pts = np.array([[0.0, 0.0], [float("nan"), 1.0], [2.0, 2.0]])
+        with pytest.raises(ValueError, match="finite coordinates.*point 1"):
+            GridIndex(pts, eps=1.0)
+
+    def test_rejects_inf_points(self):
+        pts = np.array([[0.0, float("inf")]])
+        with pytest.raises(ValueError, match="finite coordinates"):
+            GridIndex(pts, eps=1.0)
+
+    def test_rejects_nonpositive_and_nonfinite_eps(self):
+        pts = np.array([[0.0, 0.0]])
+        for eps in (0.0, -2.5, float("nan"), float("-inf")):
+            with pytest.raises(ValueError, match="eps must be"):
+                GridIndex(pts, eps=eps)
+
+    def test_empty_input_is_fine(self):
+        idx = GridIndex(np.empty((0, 2)), eps=1.0)
+        assert len(idx) == 0
+        indptr, indices = idx.neighborhoods()
+        assert indptr.tolist() == [0]
+        assert indices.size == 0
+
+
+class TestNeighborhoodsCSR:
+    """The batched CSR adjacency must agree with the per-point probe —
+    same members, same within-row order."""
+
+    def _assert_rows_match(self, idx):
+        indptr, indices = idx.neighborhoods()
+        assert indptr.shape == (len(idx) + 1,)
+        assert indptr[0] == 0 and indptr[-1] == indices.shape[0]
+        for i in range(len(idx)):
+            row = indices[indptr[i] : indptr[i + 1]]
+            expected = idx.neighbors(i)
+            assert row.tolist() == expected.tolist(), f"row {i} diverged"
+
+    def test_matches_probe_small(self):
+        pts = np.array(
+            [[0.0, 0.0], [0.5, 0.0], [0.9, 0.9], [5.0, 5.0], [-0.3, 0.2]]
+        )
+        self._assert_rows_match(GridIndex(pts, eps=1.0))
+
+    def test_matches_probe_with_duplicates(self):
+        pts = np.array([[1.0, 1.0]] * 4 + [[1.4, 1.0], [9.0, 9.0]])
+        self._assert_rows_match(GridIndex(pts, eps=0.5))
+
+    def test_matches_probe_single_dense_cell(self):
+        # Every point in one cell: the worst-case n^2 candidate block,
+        # exercising the chunked pair expansion.
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0.0, 0.9, size=(200, 2))
+        self._assert_rows_match(GridIndex(pts, eps=1000.0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-50, 50, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=80,
+        ),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_matches_probe_random(self, pts, eps):
+        arr = np.array(pts, dtype=np.float64).reshape(-1, 2)
+        self._assert_rows_match(GridIndex(arr, eps=eps))
+
+
 class TestNegativeCoordinates:
     """Queries straddling cell 0: floor-based cell maths must keep
     negative coordinates in their own cells, not mirror them onto the

@@ -1,0 +1,279 @@
+"""Fit-path identity and instrumentation tests (the PR 5 overhaul).
+
+The vectorized training pipeline — batched offset grouping and region
+assembly, bulk pattern-key encoding, unchecked pattern construction —
+claims *byte-identical* fitted state versus the per-group/per-pattern
+reference algorithms.  These tests pin each claim against an inline
+reference implementation, and cover the new fit-phase timing surface
+(``fit_phase_seconds_``, the ``fit_phase_seconds_{phase}`` histograms and
+the fleet aggregate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.core.config import HPMConfig
+from repro.core.fleet import FleetPredictionModel
+from repro.core.keys import KeyCodec
+from repro.core.model import HybridPredictionModel
+from repro.core.patterns import (
+    TrajectoryPattern,
+    mine_trajectory_patterns,
+    region_visit_masks,
+)
+from repro.core.regions import (
+    FrequentRegion,
+    RegionSet,
+    discover_frequent_regions,
+)
+from repro.datagen import make_dataset
+from repro.serve.metrics import MetricsRegistry
+from repro.trajectory.point import BoundingBox, Point
+from repro.trajectory.trajectory import Trajectory
+
+
+# ----------------------------------------------------------------------
+# reference implementations (the pre-overhaul algorithms, verbatim)
+# ----------------------------------------------------------------------
+def reference_discover(trajectory, period, eps, min_pts) -> RegionSet:
+    regions = []
+    for group in trajectory.offset_groups(period):
+        if len(group) == 0:
+            continue
+        result = dbscan(group.positions, eps=eps, min_pts=min_pts)
+        for j in range(result.num_clusters):
+            member_idx = result.members(j)
+            points = group.positions[member_idx]
+            centroid = points.mean(axis=0)
+            regions.append(
+                FrequentRegion(
+                    offset=group.offset,
+                    index=j,
+                    center=Point(float(centroid[0]), float(centroid[1])),
+                    points=points,
+                    bbox=BoundingBox.from_points(
+                        [(float(x), float(y)) for x, y in points]
+                    ),
+                    subtrajectory_ids=tuple(
+                        int(s) for s in group.subtrajectory_ids[member_idx]
+                    ),
+                )
+            )
+    return RegionSet(regions, period=period, eps=eps)
+
+
+def reference_masks(regions, num_subtrajectories):
+    masks = {}
+    for region in regions:
+        mask = 0
+        for sub_id in set(region.subtrajectory_ids):
+            if 0 <= sub_id < num_subtrajectories:
+                mask |= 1 << sub_id
+        masks[region] = mask
+    return masks
+
+
+def region_state(region: FrequentRegion) -> tuple:
+    """Every byte of a region's fitted state, hex-exact."""
+    return (
+        region.offset,
+        region.index,
+        region.center.x.hex(),
+        region.center.y.hex(),
+        region.points.tobytes(),
+        region.points.dtype.str,
+        region.points.shape,
+        region.bbox.min_x.hex(),
+        region.bbox.min_y.hex(),
+        region.bbox.max_x.hex(),
+        region.bbox.max_y.hex(),
+        region.subtrajectory_ids,
+        tuple(type(s).__name__ for s in region.subtrajectory_ids),
+    )
+
+
+class TestDiscoverRegionsIdentity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_byte_for_byte(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(40, 400))
+        period = int(rng.integers(2, 12))
+        traj = Trajectory(rng.uniform(0, 50, size=(n, 2)))
+        eps = float(rng.uniform(1.5, 8.0))
+        min_pts = int(rng.integers(1, 5))
+        got = discover_frequent_regions(traj, period, eps, min_pts)
+        expected = reference_discover(traj, period, eps, min_pts)
+        assert [region_state(r) for r in got] == [
+            region_state(r) for r in expected
+        ]
+
+    def test_matches_reference_on_dataset(self):
+        dataset = make_dataset("bike", 8, 48, seed=1)
+        got = discover_frequent_regions(dataset.trajectory, 48, 30.0, 4)
+        expected = reference_discover(dataset.trajectory, 48, 30.0, 4)
+        assert [region_state(r) for r in got] == [
+            region_state(r) for r in expected
+        ]
+
+    def test_period_validation(self):
+        traj = Trajectory(np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="period must be positive"):
+            discover_frequent_regions(traj, 0, 1.0, 1)
+
+    def test_empty_trajectory(self):
+        got = discover_frequent_regions(Trajectory(np.empty((0, 2))), 4, 1.0, 1)
+        assert len(got) == 0
+
+
+class TestRegionVisitMasks:
+    def test_matches_reference(self):
+        dataset = make_dataset("bike", 6, 24, seed=2)
+        regions = discover_frequent_regions(dataset.trajectory, 24, 30.0, 3)
+        for num_subs in (1, 3, 6, 10):
+            assert region_visit_masks(regions, num_subs) == reference_masks(
+                regions, num_subs
+            )
+
+    def test_large_subtrajectory_ids_stay_exact(self):
+        # Beyond 63 sub-trajectories the masks outgrow int64; Python ints
+        # must keep every bit.
+        region = FrequentRegion(
+            offset=0,
+            index=0,
+            center=Point(0.0, 0.0),
+            points=np.zeros((3, 2)),
+            bbox=BoundingBox(0.0, 0.0, 1.0, 1.0),
+            subtrajectory_ids=(0, 64, 100),
+        )
+        regions = RegionSet([region], period=4, eps=1.0)
+        masks = region_visit_masks(regions, 101)
+        assert masks[region] == (1 << 0) | (1 << 64) | (1 << 100)
+
+
+class TestBulkKeyEncoding:
+    def _mined(self):
+        dataset = make_dataset("bike", 8, 36, seed=3)
+        regions = discover_frequent_regions(dataset.trajectory, 36, 40.0, 3)
+        patterns = mine_trajectory_patterns(
+            regions, num_subtrajectories=8, min_support=2, min_confidence=0.2
+        )
+        assert patterns, "fixture must mine at least one pattern"
+        return regions, patterns
+
+    def test_encode_values_matches_encode_pattern(self):
+        regions, patterns = self._mined()
+        codec = KeyCodec.from_patterns(regions, patterns)
+        values = codec.encode_values(patterns)
+        assert values == [codec.encode_pattern(p).value for p in patterns]
+
+    def test_encode_values_unknown_offset_raises_like_encode_pattern(self):
+        regions, patterns = self._mined()
+        # A codec that only knows the first pattern's consequence offset;
+        # some other pattern must then fail in both code paths alike.
+        narrow = KeyCodec(regions, [patterns[0].consequence_offset])
+        stranger = next(
+            p
+            for p in patterns
+            if p.consequence_offset != patterns[0].consequence_offset
+        )
+        with pytest.raises(ValueError, match="consequence-key table"):
+            narrow.encode_pattern(stranger)
+        with pytest.raises(ValueError, match="consequence-key table"):
+            narrow.encode_values([stranger])
+
+
+class TestUncheckedPatternConstruction:
+    def test_identical_to_validated(self, sample_region_pair=None):
+        dataset = make_dataset("bike", 8, 36, seed=4)
+        regions = discover_frequent_regions(dataset.trajectory, 36, 40.0, 3)
+        patterns = mine_trajectory_patterns(
+            regions, num_subtrajectories=8, min_support=2, min_confidence=0.2
+        )
+        for p in patterns:
+            validated = TrajectoryPattern(
+                premise=p.premise,
+                consequence=p.consequence,
+                support=p.support,
+                confidence=p.confidence,
+            )
+            assert validated == p
+            assert hash(validated) == hash(p)
+            assert validated.premise_offsets == p.premise_offsets
+
+    def test_mined_patterns_still_satisfy_invariants(self):
+        # The miner skips __post_init__; re-validating must never raise.
+        dataset = make_dataset("bike", 10, 48, seed=5)
+        model = HybridPredictionModel(
+            HPMConfig(period=48, eps=40.0, min_pts=3, min_confidence=0.2, distant_threshold=10)
+        ).fit(dataset.trajectory)
+        for p in model.patterns_:
+            TrajectoryPattern(
+                premise=p.premise,
+                consequence=p.consequence,
+                support=p.support,
+                confidence=p.confidence,
+            )
+
+
+class TestFitPhaseTiming:
+    def _fit_model(self, registry=None):
+        dataset = make_dataset("bike", 8, 36, seed=6)
+        model = HybridPredictionModel(
+            HPMConfig(period=36, eps=40.0, min_pts=3, min_confidence=0.2, distant_threshold=10)
+        )
+        if registry is not None:
+            model.bind_metrics(registry)
+        return model.fit(dataset.trajectory)
+
+    def test_phases_recorded_on_fit(self):
+        model = self._fit_model()
+        phases = model.fit_phase_seconds_
+        assert set(phases) == {"cluster", "mine", "index"}
+        assert all(v >= 0.0 for v in phases.values())
+
+    def test_unfitted_model_has_no_phases(self):
+        assert HybridPredictionModel(HPMConfig(period=8, distant_threshold=4)).fit_phase_seconds_ == {}
+
+    def test_histograms_observed_when_registry_bound(self):
+        registry = MetricsRegistry()
+        self._fit_model(registry)
+        for phase in ("cluster", "mine", "index"):
+            hist = registry.histogram(f"fit_phase_seconds_{phase}")
+            assert hist.count == 1
+
+    def test_no_registry_no_error(self):
+        model = self._fit_model()
+        # Detached observe is a no-op, explicit registry records.
+        model._observe_fit_phases()
+        registry = MetricsRegistry()
+        model._observe_fit_phases(registry)
+        assert registry.histogram("fit_phase_seconds_cluster").count == 1
+
+    def test_update_refreshes_phases(self):
+        model = self._fit_model()
+        first = model.fit_phase_seconds_
+        model.update(model.history_.positions[: model.config.period])
+        second = model.fit_phase_seconds_
+        assert set(second) >= {"cluster", "mine"}
+        assert second is not first  # a fresh timing dict per refit
+
+    def test_fleet_fit_phase_totals(self):
+        dataset = make_dataset("bike", 8, 36, seed=7)
+        fleet = FleetPredictionModel(
+            HPMConfig(period=36, eps=40.0, min_pts=3, min_confidence=0.2, distant_threshold=10)
+        )
+        registry = MetricsRegistry()
+        fleet.bind_metrics(registry)
+        fleet.fit(
+            {"a": dataset.trajectory, "b": dataset.trajectory},
+            executor="serial",
+        )
+        totals = fleet.fit_phase_totals()
+        assert set(totals) == {"cluster", "mine", "index"}
+        expected_cluster = sum(
+            fleet[oid].fit_phase_seconds_["cluster"] for oid in ("a", "b")
+        )
+        assert totals["cluster"] == pytest.approx(expected_cluster)
+        # One histogram sample per phase per fitted object.
+        assert registry.histogram("fit_phase_seconds_cluster").count == 2

@@ -87,6 +87,26 @@ class TestRunners:
         assert row["unpruned_rules"] >= row["pruned_patterns"]
         assert 0.0 <= row["reduction_pct"] <= 100.0
 
+    def test_pruning_ablation_counts_match_mask_free_oracle(
+        self, tiny_bike, tiny_scale
+    ):
+        """Routing the ablation through precomputed/rebuilt bitmap masks
+        must not change its rule counts vs a from-scratch recount."""
+        from repro.core.patterns import count_rules_unpruned
+        from repro.evalx.experiments import fit_model
+
+        row = run_pruning_ablation(tiny_bike, tiny_scale)
+        model = fit_model(tiny_bike, tiny_scale)
+        expected = count_rules_unpruned(
+            model.patterns_,
+            model.regions_,
+            tiny_scale.training_subtrajectories,
+            model.config.min_confidence,
+            masks=None,
+        )
+        assert row["pruned_patterns"] == model.pattern_count
+        assert row["unpruned_rules"] == expected
+
     def test_weight_functions(self, tiny_bike, tiny_scale):
         rows = run_weight_functions(tiny_bike, tiny_scale, prediction_length=10)
         assert [r["weight_function"] for r in rows] == [
