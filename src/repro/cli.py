@@ -132,6 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="refit an object after this many ingested fixes")
     serve.add_argument("--warmup-workers", type=int, default=None,
                        help="parallel workers for fleet-snapshot warm-up")
+    serve.add_argument("--max-inflight-predict", type=int, default=256,
+                       help="predict requests in flight before shedding (503)")
+    serve.add_argument("--max-inflight-ingest", type=int, default=128,
+                       help="ingest requests in flight before shedding (503)")
+    serve.add_argument("--client-rate", type=float, default=0.0,
+                       help="per-client rate limit in req/s (0 disables; 429 beyond it)")
+    serve.add_argument("--client-burst", type=float, default=20.0,
+                       help="per-client token-bucket burst allowance")
+    serve.add_argument("--deadline-ms", type=float, default=10000.0,
+                       help="default predict deadline in ms (0 disables)")
+    serve.add_argument("--idle-timeout", type=float, default=60.0,
+                       help="seconds before an idle/slow connection is reaped (0 disables)")
+    serve.add_argument("--max-body-bytes", type=int, default=1_048_576,
+                       help="request body budget in bytes (413 beyond it)")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault-injection seed (with the --chaos-* probabilities)")
+    serve.add_argument("--chaos-latency", type=float, default=0.0,
+                       help="probability of injected pre-handler latency")
+    serve.add_argument("--chaos-errors", type=float, default=0.0,
+                       help="probability of injected handler errors")
+    serve.add_argument("--chaos-drops", type=float, default=0.0,
+                       help="probability of injected connection drops")
 
     loadgen = sub.add_parser(
         "loadgen", help="replay a trajectory workload against a running server"
@@ -154,6 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--distinct", type=int, default=50,
                          help="distinct queries in the pool (cache hit control)")
     loadgen.add_argument("-k", type=int, default=None)
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-query deadline in ms (the goodput bar)")
     loadgen.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -310,7 +334,12 @@ def _cmd_serve(args) -> int:
 
     from .core.fleet import FleetPredictionModel
     from .core.persistence import load_fleet
-    from .serve import PredictionServer, PredictionService, ServeConfig
+    from .serve import (
+        ChaosConfig,
+        PredictionServer,
+        PredictionService,
+        ServeConfig,
+    )
 
     path = Path(args.model)
     if path.is_dir():
@@ -320,6 +349,14 @@ def _cmd_serve(args) -> int:
         model = load_model(path)
         fleet = FleetPredictionModel(model.config)
         fleet.adopt_object(args.object_id, model)
+    chaos = None
+    if args.chaos_latency > 0 or args.chaos_errors > 0 or args.chaos_drops > 0:
+        chaos = ChaosConfig(
+            seed=args.chaos_seed,
+            latency_probability=args.chaos_latency,
+            error_probability=args.chaos_errors,
+            drop_probability=args.chaos_drops,
+        )
     config = ServeConfig(
         cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl if args.cache_ttl > 0 else None,
@@ -328,6 +365,14 @@ def _cmd_serve(args) -> int:
         update_after=args.update_after,
         enable_cache=args.cache_ttl > 0,
         enable_batching=args.batch_window_ms > 0,
+        max_inflight_predict=args.max_inflight_predict,
+        max_inflight_ingest=args.max_inflight_ingest,
+        client_rate=args.client_rate,
+        client_burst=args.client_burst,
+        default_deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        max_body_bytes=args.max_body_bytes,
+        chaos=chaos,
     )
     service = PredictionService(fleet, config)
     server = PredictionServer(service, host=args.host, port=args.port)
@@ -372,6 +417,7 @@ def _cmd_loadgen(args) -> int:
         max_horizon=args.horizon,
         distinct=args.distinct,
         k=args.k,
+        deadline_ms=args.deadline_ms,
         rng=np.random.default_rng(args.seed),
     )
     report = asyncio.run(

@@ -8,6 +8,16 @@ fitted models, with per-object streaming ingest, request batching
 (:mod:`~repro.serve.metrics`), and a load generator
 (:mod:`~repro.serve.loadgen`).
 
+The stack is hardened for hostile traffic: admission control with
+per-class slots, watermark shedding and per-client rate limits
+(:mod:`~repro.serve.admission`), per-request deadlines with a graceful
+degradation ladder (stale cache -> motion-only -> 503), a background
+refit scheduler with retry/backoff/dead-lettering
+(:mod:`~repro.serve.refit`), HTTP read limits, and seeded fault
+injection for resilience drills (:mod:`~repro.serve.chaos`).  With
+chaos off and default limits the hardening layer is invisible:
+responses are byte-identical to a plain predict call.
+
 Run one from the CLI::
 
     repro mine route.csv -o model.npz --period 24
@@ -15,8 +25,10 @@ Run one from the CLI::
     repro loadgen 127.0.0.1:8080 --input route.csv --requests 500
 """
 
+from .admission import AdmissionController, AdmissionDecision, TokenBucket
 from .batching import RequestBatcher
 from .cache import PredictionCache
+from .chaos import ChaosConfig, FaultInjector
 from .handlers import ApiError, prediction_to_dict, render_predict_body
 from .loadgen import (
     HttpClient,
@@ -33,11 +45,18 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .refit import RefitScheduler
 from .server import PredictionServer, PredictionService, ServeConfig
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
     "ApiError",
+    "ChaosConfig",
     "Counter",
+    "FaultInjector",
+    "RefitScheduler",
+    "TokenBucket",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",

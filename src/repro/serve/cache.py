@@ -114,6 +114,38 @@ class PredictionCache:
             self._count("serve_cache_misses_total")
             return None
 
+    def lookup(self, key: tuple) -> tuple[Any | None, bool]:
+        """Like :meth:`get`, but a TTL-expired entry is *returned* as
+        ``(value, False)`` instead of being dropped.
+
+        This is the serve path's stale-while-refit read: a fresh entry
+        answers immediately (``(value, True)``, counted as a hit); an
+        expired one counts as a miss but its value rides along so the
+        graceful-degradation ladder can serve it if the recomputation
+        blows its deadline.  The expired entry stays stored (bounded by
+        the LRU capacity) until the recomputation's ``put`` replaces it
+        or :meth:`invalidate` drops it — invalidated entries are gone
+        for stale reads too, because their window has moved.
+        """
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                stored_at, value = entry
+                if self.ttl is None or now - stored_at <= self.ttl:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._count("serve_cache_hits_total")
+                    return value, True
+                self.expirations += 1
+                self._count("serve_cache_expirations_total")
+                self.misses += 1
+                self._count("serve_cache_misses_total")
+                return value, False
+            self.misses += 1
+            self._count("serve_cache_misses_total")
+            return None, False
+
     def put(self, key: tuple, value: Any) -> None:
         """Store ``value``; evicts the LRU entry beyond capacity."""
         with self._lock:

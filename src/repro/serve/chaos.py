@@ -1,0 +1,147 @@
+"""Deterministic fault injection for serve-path resilience drills.
+
+Robustness claims need a repeatable adversary.  :class:`FaultInjector`
+draws every fault from one seeded RNG, so a fault plan — "10% of
+requests gain 25ms latency, 5% of handlers raise, 2% of connections
+drop" — replays identically across runs, machines, and Python versions.
+The same plan object drives both sides of the wire:
+
+* **Server side** (:class:`~repro.serve.server.PredictionServer` when
+  ``ServeConfig.chaos`` is set): injected pre-handler latency, synthetic
+  handler exceptions (exercising the 500 path), and abrupt connection
+  drops before the response is written.
+* **Client side** (:func:`~repro.serve.loadgen.run_loadgen` with
+  ``chaos=``): slow clients that dribble the request onto the socket
+  (exercising the idle-read reaper) and mid-stream disconnects.
+
+Faults are sampled *per event* in call order, so determinism holds as
+long as the request sequence is deterministic (single connection or a
+committed workload).  With ``ChaosConfig()`` defaults every probability
+is 0 and the injector is inert — the production configuration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["ChaosConfig", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One committed fault plan (all probabilities in [0, 1])."""
+
+    seed: int = 0
+    #: fraction of requests delayed before their handler runs
+    latency_probability: float = 0.0
+    #: injected delay in milliseconds when latency fires
+    latency_ms: float = 25.0
+    #: fraction of requests whose handler raises ``ChaosError``
+    error_probability: float = 0.0
+    #: fraction of requests whose connection is dropped pre-response
+    drop_probability: float = 0.0
+    #: fraction of client requests sent slowly (loadgen side)
+    slow_client_probability: float = 0.0
+    #: per-chunk delay in milliseconds for a slow client send
+    slow_client_ms: float = 20.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "latency_probability",
+            "error_probability",
+            "drop_probability",
+            "slow_client_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.latency_ms < 0 or self.slow_client_ms < 0:
+            raise ValueError("injected delays must be >= 0 ms")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire under this plan."""
+        return any(
+            p > 0.0
+            for p in (
+                self.latency_probability,
+                self.error_probability,
+                self.drop_probability,
+                self.slow_client_probability,
+            )
+        )
+
+
+class ChaosError(RuntimeError):
+    """The synthetic handler failure injected by the error fault."""
+
+
+class FaultInjector:
+    """Samples the fault plan; one instance per drill, seeded once."""
+
+    #: exposed so tests/benches can assert on the injected error type
+    ChaosError = ChaosError
+
+    def __init__(self, config: ChaosConfig, metrics=None):
+        self.config = config
+        self.metrics = metrics
+        self._rng = random.Random(config.seed)
+        self.injected: dict[str, int] = {
+            "latency": 0,
+            "error": 0,
+            "drop": 0,
+            "slow_client": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # server-side faults
+    # ------------------------------------------------------------------
+    def latency_s(self) -> float:
+        """Seconds of pre-handler delay to inject for this request (0 = none)."""
+        if self._fires(self.config.latency_probability):
+            self._record("latency")
+            return self.config.latency_ms / 1000.0
+        return 0.0
+
+    def raise_for_error(self) -> None:
+        """Raise :class:`ChaosError` when the handler-error fault fires."""
+        if self._fires(self.config.error_probability):
+            self._record("error")
+            raise ChaosError("injected handler failure")
+
+    def should_drop(self) -> bool:
+        """Whether to cut this connection before writing the response."""
+        if self._fires(self.config.drop_probability):
+            self._record("drop")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # client-side faults (loadgen)
+    # ------------------------------------------------------------------
+    def slow_client_s(self) -> float:
+        """Per-chunk delay in seconds for a slow request send (0 = none)."""
+        if self._fires(self.config.slow_client_probability):
+            self._record("slow_client")
+            return self.config.slow_client_ms / 1000.0
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fires(self, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        return self._rng.random() < probability
+
+    def _record(self, kind: str) -> None:
+        self.injected[kind] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"serve_chaos_injected_total_{kind}").inc()
+
+    def stats(self) -> dict[str, int]:
+        return dict(self.injected)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(seed={self.config.seed}, injected={self.injected})"

@@ -10,10 +10,14 @@ compares the HTTP body against this function applied to a direct
 
 Endpoints
 ----------
-* ``POST /predict``  — ``{"object_id", "query_time", "k"?, "recent"?}``;
-  ``recent`` is ``[[t, x, y], ...]`` (chronological) and may be omitted
-  when the object has an ingest-fed tracker window.  Responds with the
-  top-k predictions; the ``X-Cache`` header says ``hit`` or ``miss``.
+* ``POST /predict``  — ``{"object_id", "query_time", "k"?, "recent"?,
+  "deadline_ms"?}``; ``recent`` is ``[[t, x, y], ...]`` (chronological)
+  and may be omitted when the object has an ingest-fed tracker window.
+  Responds with the top-k predictions; the ``X-Cache`` header says
+  ``hit`` or ``miss``.  ``deadline_ms`` bounds the model pass — on
+  expiry the answer degrades (stale cache or motion-only, marked
+  ``"degraded": true`` and ``X-Degraded: true``; ``X-Cache: stale``
+  for the stale rung) rather than blocking past the deadline.
 * ``POST /ingest``   — ``{"object_id", "fixes": [[t, x, y], ...]}``;
   streams fixes into the object's tracker, invalidates its cache
   entries, and schedules a background refit when enough data accrued.
@@ -41,12 +45,19 @@ _JSON = "application/json"
 
 
 class ApiError(Exception):
-    """An error with an HTTP status, rendered as ``{"error": ...}``."""
+    """An error with an HTTP status, rendered as ``{"error": ...}``.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (seconds) adds a ``Retry-After`` response header —
+    used by the overload paths (503) so well-behaved clients back off.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 def encode_json(payload: Any) -> bytes:
@@ -70,15 +81,22 @@ def render_predict_body(
     object_id: str,
     query_time: int,
     predictions: Sequence[Prediction],
+    degraded: bool = False,
 ) -> bytes:
-    """The canonical ``POST /predict`` response body."""
-    return encode_json(
-        {
-            "object_id": object_id,
-            "query_time": query_time,
-            "predictions": [prediction_to_dict(p) for p in predictions],
-        }
-    )
+    """The canonical ``POST /predict`` response body.
+
+    ``degraded`` marks answers produced by the overload fallback ladder
+    (stale cache / motion-only); the key is absent from full-quality
+    responses, keeping them byte-identical to direct predict calls.
+    """
+    payload: dict = {
+        "object_id": object_id,
+        "query_time": query_time,
+        "predictions": [prediction_to_dict(p) for p in predictions],
+    }
+    if degraded:
+        payload["degraded"] = True
+    return encode_json(payload)
 
 
 # ----------------------------------------------------------------------
@@ -133,17 +151,28 @@ async def _handle_predict(service, body: bytes):
     k = payload.get("k")
     if k is not None and (not isinstance(k, int) or k < 1):
         raise ApiError(400, "k must be a positive integer")
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, (int, float))
+        or deadline_ms <= 0
+    ):
+        raise ApiError(400, "deadline_ms must be a positive number")
     recent = (
         _parse_fixes(payload, "recent") if payload.get("recent") is not None else None
     )
-    predictions, cached = await service.predict(
-        object_id, recent, query_time, k
+    predictions, cached, degraded = await service.predict(
+        object_id, recent, query_time, k, deadline_ms=deadline_ms
     )
+    headers = {"X-Cache": "hit" if cached else "miss"}
+    if degraded:
+        headers["X-Cache"] = "stale" if cached else "miss"
+        headers["X-Degraded"] = "true"
     return (
         200,
         _JSON,
-        render_predict_body(object_id, query_time, predictions),
-        {"X-Cache": "hit" if cached else "miss"},
+        render_predict_body(object_id, query_time, predictions, degraded),
+        headers,
     )
 
 
@@ -196,7 +225,14 @@ async def route(
     try:
         return await handler(service, body)
     except ApiError as exc:
-        return exc.status, _JSON, encode_json({"error": exc.message}), {}
+        extra = {}
+        if exc.retry_after is not None:
+            extra["Retry-After"] = (
+                str(int(exc.retry_after))
+                if float(exc.retry_after).is_integer()
+                else f"{exc.retry_after:.3f}"
+            )
+        return exc.status, _JSON, encode_json({"error": exc.message}), extra
     except KeyError as exc:
         # Unknown object ids surface as KeyError from the fleet.
         return 404, _JSON, encode_json({"error": str(exc.args[0])}), {}

@@ -42,12 +42,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class PredictQuery:
-    """One ``POST /predict`` call: a recent window and a future time."""
+    """One ``POST /predict`` call: a recent window and a future time.
+
+    ``deadline_ms`` rides along in the payload (the server degrades
+    rather than blocking past it) and defines this query's goodput bar:
+    a response counts as *good* only if it arrives in time.
+    """
 
     object_id: str
     recent: tuple[tuple[int, float, float], ...]
     query_time: int
     k: int | None = None
+    deadline_ms: float | None = None
 
     def payload(self) -> dict:
         body: dict = {
@@ -57,18 +63,36 @@ class PredictQuery:
         }
         if self.k is not None:
             body["k"] = self.k
+        if self.deadline_ms is not None:
+            body["deadline_ms"] = self.deadline_ms
         return body
 
 
 @dataclass
 class LoadReport:
-    """Throughput/latency summary of one load-generation run."""
+    """Throughput/latency summary of one load-generation run.
+
+    Beyond the headline numbers, a resilience run is self-describing:
+    ``status_counts`` is the full status-code histogram (503 = shed,
+    429 = rate-limited), ``degraded`` counts fallback-quality answers,
+    ``transport_errors`` counts dropped/failed connections, and
+    ``class_latencies_ms`` splits latencies per request class so a
+    predict/ingest mix can be read apart.
+    """
 
     requests: int
     errors: int
     elapsed: float
     cache_hits: int
     latencies_ms: list[float] = field(repr=False)
+    status_counts: dict[int, int] = field(default_factory=dict)
+    class_latencies_ms: dict[str, list[float]] = field(
+        default_factory=dict, repr=False
+    )
+    degraded: int = 0
+    transport_errors: int = 0
+    deadline_misses: int = 0
+    good: int = 0
 
     @property
     def throughput(self) -> float:
@@ -76,20 +100,68 @@ class LoadReport:
         ok = self.requests - self.errors
         return ok / self.elapsed if self.elapsed > 0 else 0.0
 
-    def percentile(self, p: float) -> float:
-        if not self.latencies_ms:
+    @property
+    def shed(self) -> int:
+        """Responses shed by admission control (HTTP 503)."""
+        return self.status_counts.get(503, 0)
+
+    @property
+    def rate_limited(self) -> int:
+        """Responses refused by the per-client rate limiter (HTTP 429)."""
+        return self.status_counts.get(429, 0)
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Fraction of requests answered full-quality and in deadline."""
+        return self.good / self.requests if self.requests else 0.0
+
+    def percentile(self, p: float, request_class: str | None = None) -> float:
+        samples = (
+            self.latencies_ms
+            if request_class is None
+            else self.class_latencies_ms.get(request_class, [])
+        )
+        if not samples:
             return 0.0
-        return float(np.percentile(np.asarray(self.latencies_ms), p))
+        return float(np.percentile(np.asarray(samples), p))
 
     def format(self) -> str:
-        return (
+        lines = [
             f"{self.requests} requests in {self.elapsed:.2f}s "
             f"({self.throughput:.0f} req/s), {self.errors} errors, "
-            f"{self.cache_hits} cache hits\n"
+            f"{self.cache_hits} cache hits",
             f"latency ms: p50={self.percentile(50):.2f} "
             f"p95={self.percentile(95):.2f} p99={self.percentile(99):.2f} "
-            f"max={max(self.latencies_ms, default=0.0):.2f}"
-        )
+            f"max={max(self.latencies_ms, default=0.0):.2f}",
+        ]
+        if self.status_counts:
+            histogram = " ".join(
+                f"{status}:{count}"
+                for status, count in sorted(self.status_counts.items())
+            )
+            lines.append(f"status codes: {histogram}")
+        if (
+            self.shed
+            or self.rate_limited
+            or self.degraded
+            or self.transport_errors
+            or self.deadline_misses
+        ):
+            lines.append(
+                f"resilience: shed={self.shed} rate_limited={self.rate_limited} "
+                f"degraded={self.degraded} transport_errors="
+                f"{self.transport_errors} deadline_misses="
+                f"{self.deadline_misses} goodput={self.goodput_ratio:.1%}"
+            )
+        for request_class in sorted(self.class_latencies_ms):
+            if len(self.class_latencies_ms) > 1:
+                lines.append(
+                    f"{request_class} ms: "
+                    f"p50={self.percentile(50, request_class):.2f} "
+                    f"p95={self.percentile(95, request_class):.2f} "
+                    f"p99={self.percentile(99, request_class):.2f}"
+                )
+        return "\n".join(lines)
 
 
 class HttpClient:
@@ -116,21 +188,43 @@ class HttpClient:
             self._reader = self._writer = None
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+        send_delay_s: float = 0.0,
     ) -> tuple[int, dict[str, str], bytes]:
-        """Send one request; returns ``(status, headers, body)``."""
+        """Send one request; returns ``(status, headers, body)``.
+
+        ``headers`` adds extra request headers (e.g. ``X-Client-Id``).
+        ``send_delay_s > 0`` makes this a *slow client*: the head and the
+        body go out as separate writes with that delay in between, which
+        is what the server's idle-read reaper has to tolerate (fast
+        enough senders) or kill (actual slow-loris).
+        """
         if self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        extra = ""
+        for name, value in (headers or {}).items():
+            extra += f"{name}: {value}\r\n"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: keep-alive\r\n\r\n"
         ).encode("latin-1")
-        self._writer.write(head + body)
+        if send_delay_s > 0 and body:
+            self._writer.write(head)
+            await self._writer.drain()
+            await asyncio.sleep(send_delay_s)
+            self._writer.write(body)
+        else:
+            self._writer.write(head + body)
         await self._writer.drain()
 
         status_line = await self._reader.readline()
@@ -160,6 +254,7 @@ def build_workload(
     max_horizon: int = 5,
     distinct: int = 50,
     k: int | None = None,
+    deadline_ms: float | None = None,
     rng: np.random.Generator | None = None,
 ) -> list[PredictQuery]:
     """Sample a predict workload from a trajectory (see module docstring)."""
@@ -192,6 +287,7 @@ def build_workload(
                 recent=recent,
                 query_time=start_time + end + horizon,
                 k=k,
+                deadline_ms=deadline_ms,
             )
         )
     choices = rng.integers(0, len(pool), size=requests)
@@ -203,8 +299,21 @@ async def run_loadgen(
     port: int,
     workload: list[PredictQuery],
     concurrency: int = 8,
+    chaos=None,
+    client_id: str | None = "loadgen",
 ) -> LoadReport:
-    """Fire ``workload`` at the server from ``concurrency`` connections."""
+    """Fire ``workload`` at the server from ``concurrency`` connections.
+
+    Each connection identifies itself with an ``X-Client-Id`` header
+    (``{client_id}-{worker}``; ``client_id=None`` omits it) so per-client
+    rate limits see stable identities.  ``chaos`` plugs in a
+    :class:`~repro.serve.chaos.FaultInjector` on the *client* side:
+    slow sends (dribbled request bytes) and abrupt disconnects between
+    requests, exercising the server's read timeouts and half-open
+    connection handling.  A query is *good* when it came back 200,
+    full-quality (not ``degraded``), and — if it carried a deadline —
+    within that deadline.
+    """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     queue: asyncio.Queue[PredictQuery] = asyncio.Queue()
@@ -212,37 +321,82 @@ async def run_loadgen(
         queue.put_nowait(query)
 
     latencies_ms: list[float] = []
-    counters = {"errors": 0, "cache_hits": 0}
+    predict_latencies: list[float] = []
+    status_counts: dict[int, int] = {}
+    counters = {
+        "errors": 0,
+        "cache_hits": 0,
+        "degraded": 0,
+        "transport_errors": 0,
+        "deadline_misses": 0,
+        "good": 0,
+    }
 
-    async def worker() -> None:
+    async def worker(index: int) -> None:
         client = HttpClient(host, port)
         await client.connect()
+        request_headers = (
+            {"X-Client-Id": f"{client_id}-{index}"}
+            if client_id is not None
+            else None
+        )
         try:
             while True:
                 try:
                     query = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
+                send_delay_s = 0.0
+                if chaos is not None:
+                    if chaos.should_drop():
+                        # Abrupt client disconnect: the server must reap
+                        # the half-open connection without fuss.
+                        await client.close()
+                    send_delay_s = chaos.slow_client_s()
                 started = time.perf_counter()
                 try:
-                    status, headers, _ = await client.request(
-                        "POST", "/predict", query.payload()
+                    status, headers, body = await client.request(
+                        "POST",
+                        "/predict",
+                        query.payload(),
+                        headers=request_headers,
+                        send_delay_s=send_delay_s,
                     )
-                except (ConnectionError, OSError):
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
                     counters["errors"] += 1
+                    counters["transport_errors"] += 1
                     await client.close()
                     await client.connect()
                     continue
-                latencies_ms.append((time.perf_counter() - started) * 1000.0)
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                latencies_ms.append(latency_ms)
+                predict_latencies.append(latency_ms)
+                status_counts[status] = status_counts.get(status, 0) + 1
+                degraded = headers.get("x-degraded") == "true"
+                in_deadline = (
+                    query.deadline_ms is None or latency_ms <= query.deadline_ms
+                )
+                if not in_deadline:
+                    counters["deadline_misses"] += 1
                 if status != 200:
                     counters["errors"] += 1
-                elif headers.get("x-cache") == "hit":
-                    counters["cache_hits"] += 1
+                else:
+                    if degraded:
+                        counters["degraded"] += 1
+                    elif in_deadline:
+                        counters["good"] += 1
+                    if headers.get("x-cache") == "hit":
+                        counters["cache_hits"] += 1
         finally:
             await client.close()
 
     started = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(min(concurrency, len(workload) or 1))))
+    await asyncio.gather(
+        *(
+            worker(i)
+            for i in range(min(concurrency, len(workload) or 1))
+        )
+    )
     elapsed = time.perf_counter() - started
     return LoadReport(
         requests=len(workload),
@@ -250,6 +404,12 @@ async def run_loadgen(
         elapsed=elapsed,
         cache_hits=counters["cache_hits"],
         latencies_ms=latencies_ms,
+        status_counts=status_counts,
+        class_latencies_ms={"predict": predict_latencies},
+        degraded=counters["degraded"],
+        transport_errors=counters["transport_errors"],
+        deadline_misses=counters["deadline_misses"],
+        good=counters["good"],
     )
 
 

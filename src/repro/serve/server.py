@@ -4,15 +4,34 @@ Two layers:
 
 * :class:`PredictionService` — the protocol-free application core.  It
   owns the fleet, the per-object :class:`~repro.core.online.OnlineTracker`
-  ingest state, the prediction cache, the request batcher, and the
-  metrics registry.  Model passes are CPU work and run on the event
-  loop's default executor; all shared state is guarded by the fleet's
-  per-object locks (see the concurrency contract in
-  :mod:`repro.core.fleet`), so the loop stays responsive and correct.
+  ingest state, the prediction cache, the request batcher, the
+  admission controller, the refit scheduler, and the metrics registry.
+  Model passes are CPU work and run on the event loop's default
+  executor; all shared state is guarded by the fleet's per-object locks
+  (see the concurrency contract in :mod:`repro.core.fleet`), so the
+  loop stays responsive and correct.
 * :class:`PredictionServer` — a minimal stdlib HTTP/1.1 front-end over
   ``asyncio.start_server`` (keep-alive, Content-Length framing; no
   chunked encoding, TLS, or HTTP/2 — put a real proxy in front for
   that).  Routing and wire format live in :mod:`repro.serve.handlers`.
+
+Robustness model (the admission/degradation ladder)
+---------------------------------------------------
+Every external request is classified (``predict`` or ``ingest``) and
+must pass :class:`~repro.serve.admission.AdmissionController` before any
+work is scheduled: over-rate clients get ``429``, full classes and
+watermark overload get ``503 + Retry-After``.  Admitted predicts carry a
+deadline (request ``deadline_ms`` or ``ServeConfig.default_deadline_ms``)
+enforced across the batch wait and executor hop; on deadline expiry the
+service degrades instead of hanging: a stale cache entry (response
+marked ``"degraded": true``) → a motion-function-only prediction → 503.
+Background refits run under :class:`~repro.serve.refit.RefitScheduler`
+(bounded concurrency, coalescing, backoff retry, dead-lettering) and
+yield to foreground traffic during shedding.  With
+``ServeConfig.chaos`` set, a seeded
+:class:`~repro.serve.chaos.FaultInjector` perturbs the request path for
+resilience drills; with chaos off and default limits the service's
+responses are byte-identical to the pre-hardening stack.
 
 Typical embedding (the ``repro serve`` CLI does exactly this)::
 
@@ -28,22 +47,32 @@ from __future__ import annotations
 import asyncio
 import time
 from contextlib import suppress
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.fleet import FleetPredictionModel
 from ..core.online import OnlineTracker
 from ..trajectory.point import TimedPoint
+from .admission import AdmissionController
 from .batching import RequestBatcher
 from .cache import PredictionCache
-from .handlers import ApiError, route
+from .chaos import ChaosConfig, FaultInjector
+from .handlers import ApiError, encode_json, route
 from .metrics import FIT_PHASE_BUCKETS, FIT_PHASES, MetricsRegistry
+from .refit import RefitScheduler
 
 __all__ = ["ServeConfig", "PredictionService", "PredictionServer"]
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Operator-tunable serving knobs (CLI flags map 1:1 onto these)."""
+    """Operator-tunable serving knobs (CLI flags map 1:1 onto these).
+
+    The admission/deadline/hardening defaults are deliberately generous:
+    they bound pathological behaviour (storms, slow-loris clients,
+    runaway refits) without ever firing under healthy traffic, so the
+    default configuration serves byte-identical responses to the
+    pre-hardening stack.
+    """
 
     cache_entries: int = 4096
     cache_ttl: float | None = 30.0
@@ -53,6 +82,49 @@ class ServeConfig:
     update_after: int | None = None
     enable_cache: bool = True
     enable_batching: bool = True
+    # --- admission control ---
+    #: max in-flight predict requests before shedding with 503
+    max_inflight_predict: int = 256
+    #: max in-flight ingest requests before shedding with 503
+    max_inflight_ingest: int = 128
+    #: total depth that trips shedding mode (0 disables the watermark)
+    high_watermark: int = 320
+    #: total depth at which shedding mode clears (hysteresis)
+    low_watermark: int = 160
+    #: per-client token-bucket refill rate in req/s (0 disables)
+    client_rate: float = 0.0
+    #: per-client token-bucket capacity (burst allowance)
+    client_burst: float = 20.0
+    #: Retry-After seconds advertised on shed (503) responses
+    retry_after: float = 1.0
+    # --- deadlines & degradation ---
+    #: server-side default predict deadline; ``None`` disables
+    default_deadline_ms: float | None = 10_000.0
+    # --- background refits ---
+    #: refits running concurrently
+    refit_concurrency: int = 2
+    #: failed attempts before an object dead-letters
+    refit_max_retries: int = 5
+    #: first-retry backoff in seconds (doubles per attempt)
+    refit_base_delay: float = 0.05
+    #: backoff ceiling in seconds
+    refit_max_delay: float = 5.0
+    #: jitter factor on the backoff (0 = deterministic)
+    refit_jitter: float = 0.25
+    #: seed for the backoff-jitter RNG
+    refit_seed: int = 0
+    # --- HTTP hardening ---
+    #: request line + headers byte budget (431 beyond it)
+    max_header_bytes: int = 16_384
+    #: header count budget (431 beyond it)
+    max_headers: int = 100
+    #: request body byte budget (413 beyond it)
+    max_body_bytes: int = 1_048_576
+    #: seconds a connection may sit idle mid-read before being reaped
+    idle_timeout: float | None = 60.0
+    # --- fault injection ---
+    #: seeded fault plan; ``None`` (production) injects nothing
+    chaos: ChaosConfig | None = field(default=None)
 
 
 class PredictionService:
@@ -107,8 +179,36 @@ class PredictionService:
             max_delay=self.config.batch_delay,
             metrics=self.metrics,
         )
+        self.admission = AdmissionController(
+            {
+                "predict": self.config.max_inflight_predict,
+                "ingest": self.config.max_inflight_ingest,
+                "background": self.config.refit_concurrency,
+            },
+            high_watermark=self.config.high_watermark,
+            low_watermark=self.config.low_watermark,
+            client_rate=self.config.client_rate,
+            client_burst=self.config.client_burst,
+            retry_after=self.config.retry_after,
+            metrics=self.metrics,
+        )
+        self.refits = RefitScheduler(
+            self._execute_refit,
+            max_concurrency=self.config.refit_concurrency,
+            max_retries=self.config.refit_max_retries,
+            base_delay=self.config.refit_base_delay,
+            max_delay=self.config.refit_max_delay,
+            jitter=self.config.refit_jitter,
+            seed=self.config.refit_seed,
+            admission=self.admission,
+            metrics=self.metrics,
+        )
+        self.chaos: FaultInjector | None = (
+            FaultInjector(self.config.chaos, metrics=self.metrics)
+            if self.config.chaos is not None and self.config.chaos.active
+            else None
+        )
         self.trackers: dict[str, OnlineTracker] = {}
-        self._refits: dict[str, asyncio.Task] = {}
         self.metrics.gauge(
             "serve_objects", help="objects with a fitted model"
         ).set(len(fleet))
@@ -142,8 +242,16 @@ class PredictionService:
         recent: list[tuple[int, float, float]] | None,
         query_time: int,
         k: int | None = None,
+        deadline_ms: float | None = None,
     ):
-        """Answer one predictive query; returns ``(predictions, cached)``."""
+        """Answer one predictive query.
+
+        Returns ``(predictions, cached, degraded)``.  ``deadline_ms``
+        overrides ``ServeConfig.default_deadline_ms``; when the deadline
+        expires before the model pass completes, the answer walks the
+        degradation ladder (stale cache → motion-only → 503) instead of
+        blocking forever.
+        """
         if object_id not in self.fleet:
             raise ApiError(404, f"unknown object {object_id!r}")
         if recent is not None:
@@ -160,23 +268,94 @@ class PredictionService:
         self.metrics.counter("serve_predict_requests_total").inc()
 
         key = self.cache.make_key(object_id, window, query_time, k)
+        stale = None
         if self.config.enable_cache:
-            hit = self.cache.get(key)
-            if hit is not None:
-                return hit, True
+            # Stale-while-refit read: a TTL-expired value rides along as
+            # the degradation ladder's first rung in case the fresh
+            # model pass below blows its deadline.
+            value, fresh = self.cache.lookup(key)
+            if fresh:
+                return value, True, False
+            stale = value
+
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
 
         request = (tuple(p.as_tuple() for p in window), query_time, k)
-        if self.config.enable_batching:
-            predictions = await self.batcher.submit(object_id, request)
-        else:
-            predictions = (
-                await asyncio.get_running_loop().run_in_executor(
-                    None, self._execute_batch, object_id, [request]
-                )
-            )[0]
+        try:
+            predictions = await self._predict_within(
+                object_id, request, deadline
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self.metrics.counter("serve_deadline_timeouts_total").inc()
+            return self._degraded_answer(object_id, window, query_time, stale)
         if self.config.enable_cache:
             self.cache.put(key, predictions)
-        return predictions, False
+        return predictions, False, False
+
+    async def _predict_within(self, object_id, request, deadline):
+        """One model pass, honouring ``deadline`` (monotonic seconds)."""
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # Pre-expired (e.g. overload delayed admission): degrade
+                # without queueing more work behind the congestion.
+                raise asyncio.TimeoutError
+        if self.config.enable_batching:
+            # Shield the shared batch future: a deadline on *this* waiter
+            # must not cancel the result out from under coalesced twins.
+            awaitable = asyncio.shield(
+                self.batcher.submit(object_id, request)
+            )
+        else:
+            awaitable = asyncio.get_running_loop().run_in_executor(
+                None, self._execute_batch, object_id, [request]
+            )
+        if remaining is not None:
+            result = await asyncio.wait_for(awaitable, timeout=remaining)
+        else:
+            result = await awaitable
+        return result if self.config.enable_batching else result[0]
+
+    def _degraded_answer(self, object_id, window, query_time, stale):
+        """The graceful-degradation ladder, cheapest viable rung first.
+
+        1. The TTL-expired cache value captured for exactly this query
+           before the model pass — stale beats absent under overload.
+        2. A motion-function-only prediction: no pattern scoring, no
+           executor hop; needs the object lock, taken *non-blocking* so
+           an event-loop caller can never stall behind a slow refit.
+        3. Give up: 503 with Retry-After.
+
+        Degraded responses carry ``"degraded": true`` so clients and the
+        load generator can separate full-quality answers from fallbacks.
+        """
+        if stale is not None:
+            self.metrics.counter("serve_degraded_total").inc()
+            self.metrics.counter("serve_degraded_total_stale").inc()
+            return stale, True, True
+        lock = self.fleet.object_lock(object_id)
+        if lock.acquire(blocking=False):
+            try:
+                model = self.fleet[object_id]
+                prediction = model.prepare(window).motion_prediction(query_time)
+            finally:
+                lock.release()
+            self.metrics.counter("serve_degraded_total").inc()
+            self.metrics.counter("serve_degraded_total_motion").inc()
+            return [prediction], False, True
+        raise ApiError(
+            503,
+            f"deadline exceeded for object {object_id!r} and no degraded "
+            "answer is available",
+            retry_after=self.config.retry_after,
+        )
 
     def _execute_batch(self, object_id: str, requests):
         """One model pass for a whole batch (runs on the executor).
@@ -226,12 +405,8 @@ class PredictionService:
         self.cache.invalidate(object_id)
 
         refit_scheduled = False
-        if tracker.update_due and object_id not in self._refits:
-            task = asyncio.get_running_loop().create_task(
-                self._refit(object_id, tracker)
-            )
-            self._refits[object_id] = task
-            refit_scheduled = True
+        if tracker.update_due:
+            refit_scheduled = self.refits.request(object_id, tracker)
         return {
             "object_id": object_id,
             "accepted": len(fixes),
@@ -240,32 +415,29 @@ class PredictionService:
             "refit_scheduled": refit_scheduled,
         }
 
-    async def _refit(self, object_id: str, tracker: OnlineTracker) -> None:
-        """Background ``flush_updates`` (the paper's dynamic-update path)."""
-        start = time.perf_counter()
-        try:
-            flushed = await asyncio.get_running_loop().run_in_executor(
-                None, tracker.flush_updates
-            )
-        except Exception:
-            self.metrics.counter("serve_refit_errors_total").inc()
-            raise
-        finally:
-            self._refits.pop(object_id, None)
-        self.metrics.counter("serve_refits_total").inc()
-        self.metrics.counter("serve_refit_fixes_total").inc(flushed)
-        self.metrics.histogram("serve_refit_seconds").observe(
-            time.perf_counter() - start
+    async def _execute_refit(self, object_id: str, tracker) -> None:
+        """One ``flush_updates`` pass (the paper's dynamic-update path).
+
+        Runs under the :class:`RefitScheduler`, which owns retries,
+        backoff, and the dead-letter accounting; an exception here marks
+        the attempt failed and the tracker's pending fixes stay buffered
+        for the retry.
+        """
+        flushed = await asyncio.get_running_loop().run_in_executor(
+            None, tracker.flush_updates
         )
+        self.metrics.counter("serve_refit_fixes_total").inc(flushed)
         # The refreshed corpus may answer differently.
         self.cache.invalidate(object_id)
 
     async def drain(self) -> None:
-        """Complete pending batches and refits (shutdown/tests)."""
+        """Complete pending batches and refits (shutdown/tests).
+
+        Loops until the refit scheduler is quiescent, so an ingest that
+        races with shutdown extends the drain instead of leaking work.
+        """
         await self.batcher.drain()
-        for task in list(self._refits.values()):
-            with suppress(Exception):
-                await task
+        await self.refits.drain()
 
     # ------------------------------------------------------------------
     # introspection
@@ -292,10 +464,30 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 _METRIC_PATHS = {"/predict", "/ingest", "/objects", "/healthz", "/metrics"}
+
+#: externally admitted request classes by (method, path)
+_REQUEST_CLASSES = {
+    ("POST", "/predict"): "predict",
+    ("POST", "/ingest"): "ingest",
+}
+
+
+class _HttpLimitError(Exception):
+    """A request exceeded a hardening limit; answer ``status`` and close."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
 
 
 class PredictionServer:
@@ -356,27 +548,80 @@ class PredictionServer:
         if task is not None:
             self._handlers.add(task)
         metrics = self.service.metrics
+        chaos = self.service.chaos
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except asyncio.TimeoutError:
+                    # Idle or slow-loris connection: reap it quietly.
+                    metrics.counter("serve_idle_timeouts_total").inc()
+                    break
+                except _HttpLimitError as exc:
+                    metrics.counter("serve_http_limit_total").inc()
+                    metrics.counter(
+                        f"serve_http_limit_total_{exc.status}"
+                    ).inc()
+                    self._write_response(
+                        writer,
+                        exc.status,
+                        "application/json",
+                        encode_json({"error": exc.message}),
+                        {},
+                        keep_alive=False,
+                    )
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
+
+                if chaos is not None:
+                    delay = chaos.latency_s()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    if chaos.should_drop():
+                        break  # abrupt close, no response bytes
+
                 started = time.perf_counter()
-                try:
-                    status, ctype, payload, extra = await route(
-                        self.service, method, path, body
-                    )
-                except Exception as exc:  # handler bug: answer, keep serving
-                    metrics.counter("serve_http_errors_total").inc()
-                    status, ctype, extra = 500, "application/json", {}
-                    payload = (
-                        b'{"error":"internal server error: '
-                        + type(exc).__name__.encode("ascii", "replace")
-                        + b'"}'
-                    )
-                metrics.counter("serve_http_requests_total").inc()
                 bare = path.split("?", 1)[0]
+                request_class = _REQUEST_CLASSES.get((method, bare))
+                admitted = False
+                if request_class is not None:
+                    decision = self.service.admission.try_acquire(
+                        request_class, self._client_id(headers, writer)
+                    )
+                    if not decision.admitted:
+                        self._write_response(
+                            writer,
+                            decision.status,
+                            "application/json",
+                            encode_json({"error": decision.reason}),
+                            {"Retry-After": _fmt_retry(decision.retry_after)},
+                            keep_alive=True,
+                        )
+                        await writer.drain()
+                        continue
+                    admitted = True
+                try:
+                    try:
+                        if chaos is not None:
+                            chaos.raise_for_error()
+                        status, ctype, payload, extra = await route(
+                            self.service, method, path, body
+                        )
+                    except Exception as exc:  # handler bug: answer, keep serving
+                        metrics.counter("serve_http_errors_total").inc()
+                        status, ctype, extra = 500, "application/json", {}
+                        payload = (
+                            b'{"error":"internal server error: '
+                            + type(exc).__name__.encode("ascii", "replace")
+                            + b'"}'
+                        )
+                finally:
+                    if admitted:
+                        self.service.admission.release(request_class)
+                metrics.counter("serve_http_requests_total").inc()
                 if bare in _METRIC_PATHS:
                     metrics.counter(
                         f"serve_http_requests_total_{bare.strip('/')}"
@@ -413,24 +658,90 @@ class PredictionServer:
                 await writer.wait_closed()
 
     @staticmethod
-    async def _read_request(reader: asyncio.StreamReader):
-        line = await reader.readline()
+    def _client_id(headers: dict[str, str], writer: asyncio.StreamWriter) -> str:
+        """Rate-limit key: ``X-Client-Id`` header, else the peer address."""
+        client = headers.get("x-client-id")
+        if client:
+            return client
+        peer = writer.get_extra_info("peername")
+        if isinstance(peer, (tuple, list)) and peer:
+            return str(peer[0])
+        return "unknown"
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request under the hardening limits.
+
+        Raises :class:`_HttpLimitError` (431/413) when a budget is
+        exceeded and :class:`asyncio.TimeoutError` when the client goes
+        idle mid-request (``ServeConfig.idle_timeout``).
+        """
+        config = self.service.config
+        line = await self._read_line(reader, config.idle_timeout)
         if not line:
             return None
+        header_bytes = len(line)
+        if header_bytes > config.max_header_bytes:
+            raise _HttpLimitError(
+                431,
+                f"request line of {header_bytes} bytes exceeds the "
+                f"{config.max_header_bytes}-byte header budget",
+            )
         parts = line.decode("latin-1").strip().split()
         if len(parts) < 2:
             return None
         method, path = parts[0].upper(), parts[1]
         headers: dict[str, str] = {}
         while True:
-            raw = await reader.readline()
+            raw = await self._read_line(reader, config.idle_timeout)
             if raw in (b"\r\n", b"\n", b""):
                 break
+            header_bytes += len(raw)
+            if header_bytes > config.max_header_bytes:
+                raise _HttpLimitError(
+                    431,
+                    f"headers exceed the {config.max_header_bytes}-byte "
+                    "budget",
+                )
+            if len(headers) >= config.max_headers:
+                raise _HttpLimitError(
+                    431,
+                    f"more than {config.max_headers} request headers",
+                )
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
-        body = await reader.readexactly(length) if length else b""
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError:
+            raise _HttpLimitError(400, "bad Content-Length header") from None
+        if length > config.max_body_bytes:
+            raise _HttpLimitError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{config.max_body_bytes}-byte limit",
+            )
+        if length:
+            if config.idle_timeout is not None:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), config.idle_timeout
+                )
+            else:
+                body = await reader.readexactly(length)
+        else:
+            body = b""
         return method, path, headers, body
+
+    @staticmethod
+    async def _read_line(
+        reader: asyncio.StreamReader, timeout: float | None
+    ) -> bytes:
+        try:
+            if timeout is not None:
+                return await asyncio.wait_for(reader.readline(), timeout)
+            return await reader.readline()
+        except ValueError:
+            # StreamReader's internal line-length limit: a header line
+            # this long is over any sane budget.
+            raise _HttpLimitError(431, "request header line too long") from None
 
     @staticmethod
     def _write_response(
@@ -451,3 +762,12 @@ class PredictionServer:
             lines.append(f"{name}: {value}")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         writer.write(head + payload)
+
+
+def _fmt_retry(seconds: float) -> str:
+    """Retry-After value: fractional seconds, trimmed for whole numbers."""
+    return (
+        str(int(seconds))
+        if float(seconds).is_integer()
+        else f"{seconds:.3f}"
+    )
