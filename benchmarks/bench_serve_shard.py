@@ -1,0 +1,472 @@
+"""Sharded serving A/B: 1 process vs N shard workers, plus a kill drill.
+
+Three passes over the same 6-object fleet snapshot:
+
+* **Single** — one ``PredictionService`` over the whole snapshot, under
+  loadgen; every distinct query's response (plus ``/objects`` and a
+  fleet-wide ``/predict_all``) folds into a SHA-256 fingerprint.
+* **Sharded** — ``ShardCluster`` spawns N real ``repro shard-worker``
+  subprocesses behind a ``RouterServer``; the same workload and the
+  same fingerprint queries run through the router.  With chaos off the
+  two fingerprints must be **byte-identical**: the router is a
+  transparent pipe, not an approximation.
+* **Kill drill** — the workload replays in waves; after the second wave
+  one worker is SIGKILLed mid-load.  The router must keep answering
+  (stale-degraded or healthy-shard traffic, zero unhandled event-loop
+  exceptions), supervision must restart the worker, and overall goodput
+  (full-quality 200s) must stay >= 80%.
+
+Run standalone (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_shard.py           # full
+    PYTHONPATH=src python benchmarks/bench_serve_shard.py --smoke   # CI-sized
+
+Writes ``BENCH_serve_shard.json``.  Exits 1 if any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import FleetPredictionModel, HPMConfig, Trajectory
+from repro.core.persistence import load_fleet, save_fleet
+from repro.serve import (
+    HttpClient,
+    PredictionServer,
+    PredictionService,
+    ServeConfig,
+    build_workload,
+    run_loadgen,
+)
+from repro.serve.handlers import encode_json
+from repro.serve.shard import (
+    RouterConfig,
+    RouterServer,
+    RouterService,
+    ShardCluster,
+)
+
+PERIOD = 24
+NUM_DAYS = 15
+NUM_OBJECTS = 6
+NUM_SHARDS = 3
+OBJECT_IDS = [f"bus-{i}" for i in range(NUM_OBJECTS)]
+GOODPUT_FLOOR = 0.80
+
+
+def commuter_history(seed: int) -> Trajectory:
+    rng = np.random.default_rng(seed)
+    base = np.zeros((PERIOD, 2))
+    for t in range(PERIOD):
+        if t < PERIOD // 2:
+            base[t] = [400.0 * t, 0.0]
+        else:
+            base[t] = [400.0 * (PERIOD // 2), 400.0 * (t - PERIOD // 2)]
+    days = [base + rng.normal(0, 20.0, base.shape) for _ in range(NUM_DAYS)]
+    return Trajectory(np.vstack(days))
+
+
+def build_fleet() -> tuple[FleetPredictionModel, dict[str, Trajectory]]:
+    config = HPMConfig(
+        period=PERIOD,
+        eps=60.0,
+        min_pts=4,
+        min_confidence=0.3,
+        distant_threshold=8,
+        recent_window=4,
+    )
+    histories = {
+        object_id: commuter_history(31 + i)
+        for i, object_id in enumerate(OBJECT_IDS)
+    }
+    fleet = FleetPredictionModel(config)
+    fleet.fit(histories)
+    return fleet, histories
+
+
+def mixed_workload(histories, requests: int, distinct: int):
+    """Interleave per-object workloads so traffic spans every shard."""
+    per_object = max(1, requests // len(histories))
+    streams = [
+        build_workload(
+            history,
+            object_id=object_id,
+            requests=per_object,
+            window=4,
+            max_horizon=5,
+            distinct=max(1, distinct // len(histories)),
+            rng=np.random.default_rng(100 + i),
+        )
+        for i, (object_id, history) in enumerate(sorted(histories.items()))
+    ]
+    workload = []
+    for round_robin in zip(*streams):
+        workload.extend(round_robin)
+    return workload
+
+
+def fingerprint_bodies(histories, per_object: int) -> list[tuple[str, bytes]]:
+    """The distinct (path, request body) pairs both passes replay."""
+    bodies: list[tuple[str, bytes]] = []
+    recents = {}
+    query_time = 0
+    for i, (object_id, history) in enumerate(sorted(histories.items())):
+        queries = build_workload(
+            history,
+            object_id=object_id,
+            requests=per_object,
+            window=4,
+            max_horizon=5,
+            distinct=per_object,
+            rng=np.random.default_rng(500 + i),
+        )
+        for query in {q.recent: q for q in queries}.values():
+            bodies.append(("/predict", encode_json(query.payload())))
+        recents[object_id] = [list(fix) for fix in queries[0].recent]
+        query_time = max(query_time, queries[0].query_time)
+    bodies.append(
+        ("/predict_all", encode_json({"query_time": query_time, "recents": recents}))
+    )
+    return bodies
+
+
+async def fingerprint(port: int, bodies) -> tuple[str, int]:
+    """SHA-256 over every response; also counts non-200 statuses."""
+    digest = hashlib.sha256()
+    non_200 = 0
+    client = HttpClient("127.0.0.1", port)
+    try:
+        for path, body in bodies:
+            status, _, response = await client.request_raw("POST", path, body)
+            if status != 200:
+                non_200 += 1
+            digest.update(response)
+        status, _, response = await client.request("GET", "/objects")
+        if status != 200:
+            non_200 += 1
+        digest.update(response)
+    finally:
+        await client.close()
+    return digest.hexdigest(), non_200
+
+
+def report_summary(requests, errors, good, degraded, status_counts, latencies,
+                   elapsed, shard_statuses=None) -> dict:
+    arr = np.asarray(latencies) if latencies else np.asarray([0.0])
+    summary = {
+        "requests": requests,
+        "errors": errors,
+        "throughput_rps": round((requests - errors) / elapsed, 1)
+        if elapsed > 0
+        else 0.0,
+        "goodput_ratio": round(good / requests, 4) if requests else 0.0,
+        "degraded": degraded,
+        "status_counts": {
+            str(s): c for s, c in sorted(status_counts.items())
+        },
+        "latency_ms": {
+            "p50": round(float(np.percentile(arr, 50)), 2),
+            "p95": round(float(np.percentile(arr, 95)), 2),
+            "p99": round(float(np.percentile(arr, 99)), 2),
+        },
+    }
+    if shard_statuses:
+        summary["per_shard_status_counts"] = {
+            shard: {str(s): c for s, c in sorted(counts.items())}
+            for shard, counts in sorted(shard_statuses.items())
+        }
+    return summary
+
+
+def summarize_report(report) -> dict:
+    return report_summary(
+        report.requests,
+        report.errors,
+        report.good,
+        report.degraded,
+        report.status_counts,
+        report.latencies_ms,
+        report.elapsed,
+        report.shard_status_counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# pass 1: single process
+# ----------------------------------------------------------------------
+async def run_single(snapshot, histories, requests, distinct, bodies) -> dict:
+    service = PredictionService(load_fleet(snapshot), ServeConfig())
+    server = PredictionServer(service)
+    await server.start()
+    try:
+        report = await run_loadgen(
+            "127.0.0.1",
+            server.port,
+            mixed_workload(histories, requests, distinct),
+            concurrency=8,
+        )
+        digest, non_200 = await fingerprint(server.port, bodies)
+    finally:
+        await server.close()
+    return {
+        **summarize_report(report),
+        "fingerprint": digest,
+        "fingerprint_non_200": non_200,
+    }
+
+
+# ----------------------------------------------------------------------
+# passes 2 + 3: sharded baseline and the kill drill, one stack each
+# ----------------------------------------------------------------------
+async def with_shard_stack(snapshot, scenario):
+    unhandled: list[str] = []
+    loop = asyncio.get_running_loop()
+    default_handler = loop.get_exception_handler()
+    loop.set_exception_handler(
+        lambda loop, ctx: unhandled.append(ctx.get("message", ""))
+    )
+    router = RouterService(
+        RouterConfig(
+            num_shards=NUM_SHARDS, probe_interval=0.1, probe_fail_threshold=2
+        )
+    )
+    cluster = ShardCluster(
+        snapshot,
+        NUM_SHARDS,
+        restart_backoff=0.2,
+        on_ready=router.attach_shard,
+        on_down=router.detach_shard,
+    )
+    await cluster.start()
+    server = RouterServer(router)
+    try:
+        await server.start()
+        result = await scenario(router, cluster, server)
+    finally:
+        await server.close()
+        await cluster.stop(grace=5.0)
+        loop.set_exception_handler(default_handler)
+    result["unhandled_task_exceptions"] = len(unhandled)
+    return result
+
+
+async def run_sharded(snapshot, histories, requests, distinct, bodies) -> dict:
+    async def scenario(router, cluster, server):
+        report = await run_loadgen(
+            "127.0.0.1",
+            server.port,
+            mixed_workload(histories, requests, distinct),
+            concurrency=8,
+        )
+        digest, non_200 = await fingerprint(server.port, bodies)
+        return {
+            **summarize_report(report),
+            "fingerprint": digest,
+            "fingerprint_non_200": non_200,
+            "shards": NUM_SHARDS,
+            "shards_seen_by_loadgen": sorted(report.shard_status_counts),
+        }
+
+    return await with_shard_stack(snapshot, scenario)
+
+
+async def run_kill_drill(
+    snapshot, histories, requests, distinct, waves, pause_s
+) -> dict:
+    async def scenario(router, cluster, server):
+        victim_shard = router.ring.shard_for(OBJECT_IDS[0])
+        workload = mixed_workload(histories, requests, distinct)
+        per_wave = max(1, len(workload) // waves)
+        totals = {
+            "requests": 0,
+            "errors": 0,
+            "good": 0,
+            "degraded": 0,
+        }
+        status_counts: dict[int, int] = {}
+        shard_statuses: dict[str, dict[int, int]] = {}
+        latencies: list[float] = []
+        elapsed = 0.0
+        old_pid = cluster.workers[victim_shard].process.pid
+        for wave in range(waves):
+            chunk = workload[wave * per_wave : (wave + 1) * per_wave]
+            if not chunk:
+                break
+            report = await run_loadgen(
+                "127.0.0.1", server.port, chunk, concurrency=8
+            )
+            totals["requests"] += report.requests
+            totals["errors"] += report.errors
+            totals["good"] += report.good
+            totals["degraded"] += report.degraded
+            for status, count in report.status_counts.items():
+                status_counts[status] = status_counts.get(status, 0) + count
+            for shard, counts in report.shard_status_counts.items():
+                merged = shard_statuses.setdefault(shard, {})
+                for status, count in counts.items():
+                    merged[status] = merged.get(status, 0) + count
+            latencies.extend(report.latencies_ms)
+            elapsed += report.elapsed
+            if wave == 1:
+                cluster.kill_worker(victim_shard)
+            await asyncio.sleep(pause_s)
+
+        # Wait for supervision to bring the victim back and the router
+        # to re-attach it, then check the fleet-wide rollup recovered.
+        deadline = asyncio.get_running_loop().time() + 30.0
+        recovered = False
+        while asyncio.get_running_loop().time() < deadline:
+            state = router.shard_states().get(victim_shard)
+            if (
+                state is not None
+                and state["healthy"]
+                and cluster.workers[victim_shard].process.pid != old_pid
+            ):
+                recovered = True
+                break
+            await asyncio.sleep(0.2)
+        client = HttpClient("127.0.0.1", server.port)
+        try:
+            _, _, health = await client.request("GET", "/healthz")
+            final_health = json.loads(health)
+        finally:
+            await client.close()
+        return {
+            **report_summary(
+                totals["requests"],
+                totals["errors"],
+                totals["good"],
+                totals["degraded"],
+                status_counts,
+                latencies,
+                elapsed,
+                shard_statuses,
+            ),
+            "victim_shard": victim_shard,
+            "waves": waves,
+            "kill_after_wave": 2,
+            "worker_restarts": cluster.workers[victim_shard].restarts,
+            "worker_recovered": recovered,
+            "final_health": final_health,
+            "router_degraded_total": router.metrics.counter(
+                "router_degraded_total"
+            ).value,
+            "router_failover_total": router.metrics.counter(
+                "router_failover_total"
+            ).value,
+        }
+
+    return await with_shard_stack(snapshot, scenario)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=900)
+    parser.add_argument("--distinct", type=int, default=90)
+    parser.add_argument("--fingerprint-per-object", type=int, default=12)
+    parser.add_argument("--waves", type=int, default=8)
+    parser.add_argument("--pause-s", type=float, default=0.6)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small workload, same stack and gates",
+    )
+    parser.add_argument("--output", default="BENCH_serve_shard.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests, args.distinct = 240, 30
+        args.fingerprint_per_object = 4
+        args.waves, args.pause_s = 6, 0.5
+
+    fleet, histories = build_fleet()
+    bodies = fingerprint_bodies(histories, args.fingerprint_per_object)
+    with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as tmp:
+        snapshot = Path(tmp) / "snapshot"
+        save_fleet(fleet, snapshot)
+        print(
+            f"serve shard A/B: {NUM_OBJECTS} objects, {NUM_SHARDS} shards, "
+            f"{args.requests} requests, {len(bodies)} fingerprint queries ..."
+        )
+
+        single = asyncio.run(
+            run_single(snapshot, histories, args.requests, args.distinct, bodies)
+        )
+        print(
+            f"  single:  {single['throughput_rps']} req/s, "
+            f"errors={single['errors']} fingerprint={single['fingerprint'][:16]}"
+        )
+        sharded = asyncio.run(
+            run_sharded(snapshot, histories, args.requests, args.distinct, bodies)
+        )
+        print(
+            f"  sharded: {sharded['throughput_rps']} req/s over "
+            f"{NUM_SHARDS} workers, errors={sharded['errors']} "
+            f"fingerprint={sharded['fingerprint'][:16]}"
+        )
+        drill = asyncio.run(
+            run_kill_drill(
+                snapshot,
+                histories,
+                args.requests,
+                args.distinct,
+                args.waves,
+                args.pause_s,
+            )
+        )
+        print(
+            f"  drill:   goodput={drill['goodput_ratio']:.1%} "
+            f"degraded={drill['degraded']} restarts="
+            f"{drill['worker_restarts']} recovered={drill['worker_recovered']} "
+            f"unhandled={drill['unhandled_task_exceptions']}"
+        )
+
+    gates = {
+        "single_clean": single["errors"] == 0
+        and single["fingerprint_non_200"] == 0,
+        "sharded_clean": sharded["errors"] == 0
+        and sharded["degraded"] == 0
+        and sharded["fingerprint_non_200"] == 0
+        and sharded["unhandled_task_exceptions"] == 0,
+        "byte_identical_fingerprints": (
+            single["fingerprint"] == sharded["fingerprint"]
+        ),
+        "loadgen_spans_shards": len(sharded["shards_seen_by_loadgen"]) > 1,
+        "drill_goodput": drill["goodput_ratio"] >= GOODPUT_FLOOR,
+        "drill_router_survived": drill["unhandled_task_exceptions"] == 0
+        and drill["final_health"]["status"] == "ok",
+        "drill_restart_observed": drill["worker_restarts"] >= 1
+        and drill["worker_recovered"],
+    }
+    report = {
+        "benchmark": "serve_shard",
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "objects": NUM_OBJECTS,
+        "shards": NUM_SHARDS,
+        "requests": args.requests,
+        "goodput_floor": GOODPUT_FLOOR,
+        "single": single,
+        "sharded": sharded,
+        "kill_drill": drill,
+        "gates": gates,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    failed = [name for name, passed in gates.items() if not passed]
+    print(f"gates: {', '.join(f'{k}={v}' for k, v in gates.items())}")
+    print(f"wrote {args.output}")
+    if failed:
+        print(f"FAIL: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

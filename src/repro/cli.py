@@ -12,6 +12,15 @@ Seven subcommands cover the library's operational loop:
   or fleet snapshot (see :mod:`repro.serve`);
 * ``loadgen``  — replay a trajectory workload against a running server
   and report throughput/latency.
+
+Sharded serving (see :mod:`repro.serve.shard`) adds three more:
+
+* ``shard-serve``    — consistent-hash router + N shard-worker
+  processes over one fleet snapshot, one listening port;
+* ``shard-worker``   — a single shard worker (spawned by
+  ``shard-serve``; also usable standalone for debugging);
+* ``shard-snapshot`` — split a fleet snapshot into per-shard snapshots
+  along the same ring, or merge a sharded snapshot back.
 """
 
 from __future__ import annotations
@@ -154,6 +163,79 @@ def build_parser() -> argparse.ArgumentParser:
                        help="probability of injected handler errors")
     serve.add_argument("--chaos-drops", type=float, default=0.0,
                        help="probability of injected connection drops")
+
+    shard_serve = sub.add_parser(
+        "shard-serve",
+        help="route traffic across N shard-worker processes over a snapshot",
+    )
+    shard_serve.add_argument(
+        "snapshot", help="fleet snapshot directory (plain or pre-split)"
+    )
+    shard_serve.add_argument("--shards", type=int, required=True,
+                             help="number of shard-worker processes")
+    shard_serve.add_argument("--host", default="127.0.0.1")
+    shard_serve.add_argument("--port", type=int, default=8080,
+                             help="router listening port")
+    shard_serve.add_argument("--replicas", type=int, default=96,
+                             help="consistent-hash virtual nodes per shard")
+    shard_serve.add_argument("--salt", default="hpm-ring",
+                             help="consistent-hash namespace")
+    shard_serve.add_argument("--run-dir", default=None,
+                             help="directory for worker logs/ready files (default: temp)")
+    shard_serve.add_argument("--queue-depth", type=int, default=128,
+                             help="bounded forwarding-queue depth per shard")
+    shard_serve.add_argument("--forward-timeout", type=float, default=15.0,
+                             help="seconds before a forwarded request fails over")
+    shard_serve.add_argument("--probe-interval", type=float, default=0.25,
+                             help="seconds between per-shard health probes")
+    shard_serve.add_argument("--probe-fail-threshold", type=int, default=3,
+                             help="consecutive probe failures before a shard is down")
+    shard_serve.add_argument("--warmup-workers", type=int, default=None,
+                             help="parallel warm-up workers inside each shard")
+    shard_serve.add_argument("--grace", type=float, default=5.0,
+                             help="drain grace on shutdown, router and workers")
+    shard_serve.add_argument("--worker-arg", action="append", default=[],
+                             help="extra flag passed to every shard worker (repeatable)")
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="serve one shard of a snapshot (spawned by shard-serve)",
+    )
+    shard_worker.add_argument("snapshot")
+    shard_worker.add_argument("--shard-id", type=int, required=True)
+    shard_worker.add_argument("--shards", type=int, required=True)
+    shard_worker.add_argument("--host", default="127.0.0.1")
+    shard_worker.add_argument("--port", type=int, default=0,
+                              help="0 binds an ephemeral port (see --ready-file)")
+    shard_worker.add_argument("--ready-file", default=None,
+                              help="file to write the bound port into once accepting")
+    shard_worker.add_argument("--replicas", type=int, default=96)
+    shard_worker.add_argument("--salt", default="hpm-ring")
+    shard_worker.add_argument("--grace", type=float, default=5.0,
+                              help="drain grace on SIGTERM")
+    shard_worker.add_argument("--warmup-workers", type=int, default=None)
+    shard_worker.add_argument("--cache-ttl", type=float, default=30.0)
+    shard_worker.add_argument("--batch-window-ms", type=float, default=2.0)
+    shard_worker.add_argument("--update-after", type=int, default=None)
+
+    shard_snapshot = sub.add_parser(
+        "shard-snapshot",
+        help="split a fleet snapshot into per-shard snapshots, or merge back",
+    )
+    ss_sub = shard_snapshot.add_subparsers(
+        dest="shard_snapshot_command", required=True
+    )
+    ss_split = ss_sub.add_parser("split", help="fleet snapshot -> sharded snapshot")
+    ss_split.add_argument("source", help="fleet snapshot directory")
+    ss_split.add_argument("-o", "--output", required=True,
+                          help="sharded snapshot output directory")
+    ss_split.add_argument("--shards", type=int, required=True)
+    ss_split.add_argument("--replicas", type=int, default=96)
+    ss_split.add_argument("--salt", default="hpm-ring")
+    ss_merge = ss_sub.add_parser("merge", help="sharded snapshot -> fleet snapshot")
+    ss_merge.add_argument("source", help="sharded snapshot directory")
+    ss_merge.add_argument("-o", "--output", required=True,
+                          help="fleet snapshot output directory")
 
     loadgen = sub.add_parser(
         "loadgen", help="replay a trajectory workload against a running server"
@@ -383,12 +465,125 @@ def _cmd_serve(args) -> int:
             f"serving {len(fleet)} object(s) on "
             f"http://{args.host}:{server.port} (Ctrl-C to stop)"
         )
-        await server.run_forever()
+        await server.run_forever(handle_signals=True)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def _cmd_shard_serve(args) -> int:
+    import asyncio
+
+    from .serve.shard import (
+        RouterConfig,
+        RouterServer,
+        RouterService,
+        ShardCluster,
+    )
+
+    router_config = RouterConfig(
+        num_shards=args.shards,
+        replicas=args.replicas,
+        salt=args.salt,
+        queue_depth=args.queue_depth,
+        forward_timeout=args.forward_timeout,
+        probe_interval=args.probe_interval,
+        probe_fail_threshold=args.probe_fail_threshold,
+    )
+    worker_args = list(args.worker_arg)
+    if args.warmup_workers is not None:
+        worker_args += ["--warmup-workers", str(args.warmup_workers)]
+    worker_args += ["--grace", str(args.grace)]
+
+    async def run() -> None:
+        service = RouterService(router_config)
+        cluster = ShardCluster(
+            args.snapshot,
+            args.shards,
+            host=args.host,
+            replicas=args.replicas,
+            salt=args.salt,
+            run_dir=args.run_dir,
+            worker_args=worker_args,
+            on_ready=service.attach_shard,
+            on_down=service.detach_shard,
+        )
+        await cluster.start()
+        server = RouterServer(service, host=args.host, port=args.port)
+        try:
+            await server.start()
+            print(
+                f"router on http://{args.host}:{server.port} over "
+                f"{args.shards} shard worker(s) (Ctrl-C to stop)"
+            )
+            await server.run_forever(handle_signals=True, grace=args.grace)
+        finally:
+            await cluster.stop(grace=args.grace + 5.0)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    import asyncio
+
+    from .serve import ServeConfig
+    from .serve.shard import run_worker
+
+    config = ServeConfig(
+        cache_ttl=args.cache_ttl if args.cache_ttl > 0 else None,
+        enable_cache=args.cache_ttl > 0,
+        batch_delay=args.batch_window_ms / 1000.0,
+        enable_batching=args.batch_window_ms > 0,
+        update_after=args.update_after,
+    )
+    try:
+        return asyncio.run(
+            run_worker(
+                args.snapshot,
+                args.shard_id,
+                args.shards,
+                host=args.host,
+                port=args.port,
+                ready_file=args.ready_file,
+                replicas=args.replicas,
+                salt=args.salt,
+                config=config,
+                grace=args.grace,
+                max_workers=args.warmup_workers,
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_shard_snapshot(args) -> int:
+    from .serve.shard import merge_snapshot, split_snapshot
+
+    if args.shard_snapshot_command == "split":
+        placement = split_snapshot(
+            args.source,
+            args.output,
+            args.shards,
+            replicas=args.replicas,
+            salt=args.salt,
+        )
+        total = sum(len(ids) for ids in placement.values())
+        print(
+            f"wrote {args.output}: {total} object(s) split over "
+            f"{args.shards} shard(s)"
+        )
+        for shard_id, ids in sorted(placement.items()):
+            print(f"  shard {shard_id}: {len(ids)} object(s)")
+    else:
+        merged = merge_snapshot(args.source, args.output)
+        print(f"wrote {args.output}: merged {len(merged)} object(s)")
     return 0
 
 
@@ -437,6 +632,9 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,
+        "shard-serve": _cmd_shard_serve,
+        "shard-worker": _cmd_shard_worker,
+        "shard-snapshot": _cmd_shard_snapshot,
         "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)

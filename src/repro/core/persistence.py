@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
+from typing import Collection
 
 import numpy as np
 
@@ -203,6 +204,7 @@ def load_fleet(
     directory: str | Path,
     max_workers: int | None = None,
     executor: str = "thread",
+    object_ids: "Collection[str] | None" = None,
 ) -> FleetPredictionModel:
     """Reload a fleet snapshot written by :func:`save_fleet`.
 
@@ -212,6 +214,12 @@ def load_fleet(
     ``executor="process"`` ships the rebuilt models back by pickle for
     the largest snapshots.  The resulting fleet is identical to a serial
     load; objects are adopted in manifest order.
+
+    ``object_ids`` restricts the load to a subset of the manifest — a
+    shard worker loads only the objects its consistent-hash ring slice
+    owns, so warm-up cost scales with the shard, not the fleet.  Ids
+    missing from the manifest raise ``ValueError``; an empty selection
+    yields an empty fleet (a legal, if idle, shard).
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
@@ -223,10 +231,24 @@ def load_fleet(
             f"{directory}: unsupported fleet format "
             f"{manifest.get('format_version')}"
         )
+    objects = manifest["objects"]
+    if object_ids is not None:
+        wanted = set(object_ids)
+        missing = sorted(wanted - objects.keys())
+        if missing:
+            raise ValueError(
+                f"{directory}: object ids not in the snapshot manifest: "
+                f"{', '.join(missing)}"
+            )
+        objects = {
+            object_id: filename
+            for object_id, filename in objects.items()
+            if object_id in wanted
+        }
     fleet = FleetPredictionModel(HPMConfig(**manifest["config"]))
     jobs = [
         (object_id, (directory / filename,))
-        for object_id, filename in manifest["objects"].items()
+        for object_id, filename in objects.items()
     ]
     results, failures = run_keyed_tasks(
         load_model, jobs, max_workers=max_workers, executor=executor

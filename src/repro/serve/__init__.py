@@ -18,6 +18,11 @@ injection for resilience drills (:mod:`~repro.serve.chaos`).  With
 chaos off and default limits the hardening layer is invisible:
 responses are byte-identical to a plain predict call.
 
+Beyond one process, :mod:`~repro.serve.shard` partitions a fleet over
+N shard-worker processes behind a consistent-hash router
+(``repro shard-serve --shards N``), preserving the same wire protocol
+and the same byte-identity guarantee.
+
 Run one from the CLI::
 
     repro mine route.csv -o model.npz --period 24
@@ -29,7 +34,12 @@ from .admission import AdmissionController, AdmissionDecision, TokenBucket
 from .batching import RequestBatcher
 from .cache import PredictionCache
 from .chaos import ChaosConfig, FaultInjector
-from .handlers import ApiError, prediction_to_dict, render_predict_body
+from .handlers import (
+    ApiError,
+    prediction_to_dict,
+    render_predict_all_body,
+    render_predict_body,
+)
 from .loadgen import (
     HttpClient,
     LoadReport,
@@ -44,6 +54,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_dumps,
 )
 from .refit import RefitScheduler
 from .server import PredictionServer, PredictionService, ServeConfig
@@ -71,7 +82,9 @@ __all__ = [
     "ServeConfig",
     "build_workload",
     "ingest_stream",
+    "merge_dumps",
     "prediction_to_dict",
+    "render_predict_all_body",
     "render_predict_body",
     "run_loadgen",
 ]

@@ -21,9 +21,20 @@ Endpoints
 * ``POST /ingest``   — ``{"object_id", "fixes": [[t, x, y], ...]}``;
   streams fixes into the object's tracker, invalidates its cache
   entries, and schedules a background refit when enough data accrued.
+* ``POST /predict_all`` — ``{"query_time", "recents"?}``; top-1
+  predictions for many objects in one call.  ``recents`` maps object id
+  to ``[[t, x, y], ...]``; when omitted, every object with an
+  ingest-fed tracker window is scored.  The endpoint is lenient: ids
+  the fleet doesn't know land in a sorted ``"unknown"`` list (present
+  only when non-empty) instead of failing the batch, which lets the
+  shard router scatter a request across workers and merge the pieces
+  byte-identically.
 * ``GET /objects``   — per-object model/tracker summary.
 * ``GET /healthz``   — liveness.
 * ``GET /metrics``   — Prometheus-style text exposition.
+* ``GET /metrics.json`` — the registry's full mergeable state
+  (:meth:`~repro.serve.metrics.MetricsRegistry.dump`), which the shard
+  router aggregates into its fleet-wide ``/metrics`` view.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ __all__ = [
     "encode_json",
     "prediction_to_dict",
     "render_predict_body",
+    "render_predict_all_body",
     "route",
 ]
 
@@ -184,6 +196,57 @@ async def _handle_ingest(service, body: bytes):
     return 200, _JSON, encode_json(result), {}
 
 
+def render_predict_all_body(
+    query_time: int,
+    results: "dict[str, Prediction]",
+    unknown: Sequence[str] = (),
+) -> bytes:
+    """The canonical ``POST /predict_all`` response body.
+
+    Results are sorted by object id, so a scatter-gathered response
+    (each shard rendering its slice through this same function, the
+    router merging and re-rendering) is byte-identical to a
+    single-process answer.
+    """
+    payload: dict = {
+        "query_time": query_time,
+        "results": [
+            {
+                "object_id": object_id,
+                "prediction": prediction_to_dict(results[object_id]),
+            }
+            for object_id in sorted(results)
+        ],
+    }
+    if unknown:
+        payload["unknown"] = sorted(unknown)
+    return encode_json(payload)
+
+
+async def _handle_predict_all(service, body: bytes):
+    payload = _parse_body(body)
+    query_time = payload.get("query_time")
+    if not isinstance(query_time, int):
+        raise ApiError(400, "query_time must be an integer")
+    raw_recents = payload.get("recents")
+    recents = None
+    if raw_recents is not None:
+        if not isinstance(raw_recents, dict):
+            raise ApiError(400, "recents must map object ids to [[t, x, y], ...]")
+        recents = {}
+        for object_id, fixes in raw_recents.items():
+            if not isinstance(object_id, str) or not object_id:
+                raise ApiError(400, "recents keys must be non-empty strings")
+            recents[object_id] = _parse_fixes({"recent": fixes}, "recent")
+    results, unknown = await service.predict_all(recents, query_time)
+    return (
+        200,
+        _JSON,
+        render_predict_all_body(query_time, results, unknown),
+        {},
+    )
+
+
 async def _handle_objects(service, body: bytes):
     return 200, _JSON, encode_json({"objects": service.objects_summary()}), {}
 
@@ -202,12 +265,18 @@ async def _handle_metrics(service, body: bytes):
     return 200, "text/plain; version=0.0.4", text.encode("utf-8"), {}
 
 
+async def _handle_metrics_json(service, body: bytes):
+    return 200, _JSON, encode_json(service.metrics.dump()), {}
+
+
 _ROUTES = {
     ("POST", "/predict"): _handle_predict,
     ("POST", "/ingest"): _handle_ingest,
+    ("POST", "/predict_all"): _handle_predict_all,
     ("GET", "/objects"): _handle_objects,
     ("GET", "/healthz"): _handle_healthz,
     ("GET", "/metrics"): _handle_metrics,
+    ("GET", "/metrics.json"): _handle_metrics_json,
 }
 
 

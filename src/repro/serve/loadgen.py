@@ -93,6 +93,15 @@ class LoadReport:
     transport_errors: int = 0
     deadline_misses: int = 0
     good: int = 0
+    #: latencies keyed by the responding shard (``X-Shard`` header);
+    #: empty against a single-process server, which sends no such header
+    shard_latencies_ms: dict[str, list[float]] = field(
+        default_factory=dict, repr=False
+    )
+    #: status-code histogram per responding shard
+    shard_status_counts: dict[str, dict[int, int]] = field(
+        default_factory=dict
+    )
 
     @property
     def throughput(self) -> float:
@@ -161,6 +170,21 @@ class LoadReport:
                     f"p95={self.percentile(95, request_class):.2f} "
                     f"p99={self.percentile(99, request_class):.2f}"
                 )
+        for shard in sorted(self.shard_latencies_ms):
+            samples = np.asarray(self.shard_latencies_ms[shard])
+            statuses = " ".join(
+                f"{status}:{count}"
+                for status, count in sorted(
+                    self.shard_status_counts.get(shard, {}).items()
+                )
+            )
+            lines.append(
+                f"shard {shard}: {len(samples)} responses, "
+                f"p50={float(np.percentile(samples, 50)):.2f} "
+                f"p95={float(np.percentile(samples, 95)):.2f} "
+                f"p99={float(np.percentile(samples, 99)):.2f} ms"
+                + (f" [{statuses}]" if statuses else "")
+            )
         return "\n".join(lines)
 
 
@@ -195,7 +219,7 @@ class HttpClient:
         headers: dict[str, str] | None = None,
         send_delay_s: float = 0.0,
     ) -> tuple[int, dict[str, str], bytes]:
-        """Send one request; returns ``(status, headers, body)``.
+        """Send one JSON request; returns ``(status, headers, body)``.
 
         ``headers`` adds extra request headers (e.g. ``X-Client-Id``).
         ``send_delay_s > 0`` makes this a *slow client*: the head and the
@@ -203,10 +227,28 @@ class HttpClient:
         is what the server's idle-read reaper has to tolerate (fast
         enough senders) or kill (actual slow-loris).
         """
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        return await self.request_raw(
+            method, path, body, headers=headers, send_delay_s=send_delay_s
+        )
+
+    async def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+        send_delay_s: float = 0.0,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """Send pre-encoded body bytes verbatim.
+
+        The shard router forwards requests through this method so the
+        bytes a worker sees — and therefore the bytes it answers with —
+        are exactly the bytes the client sent.
+        """
         if self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
-        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
         extra = ""
         for name, value in (headers or {}).items():
             extra += f"{name}: {value}\r\n"
@@ -323,6 +365,8 @@ async def run_loadgen(
     latencies_ms: list[float] = []
     predict_latencies: list[float] = []
     status_counts: dict[int, int] = {}
+    shard_latencies: dict[str, list[float]] = {}
+    shard_statuses: dict[str, dict[int, int]] = {}
     counters = {
         "errors": 0,
         "cache_hits": 0,
@@ -372,6 +416,11 @@ async def run_loadgen(
                 latencies_ms.append(latency_ms)
                 predict_latencies.append(latency_ms)
                 status_counts[status] = status_counts.get(status, 0) + 1
+                shard = headers.get("x-shard")
+                if shard is not None:
+                    shard_latencies.setdefault(shard, []).append(latency_ms)
+                    per_shard = shard_statuses.setdefault(shard, {})
+                    per_shard[status] = per_shard.get(status, 0) + 1
                 degraded = headers.get("x-degraded") == "true"
                 in_deadline = (
                     query.deadline_ms is None or latency_ms <= query.deadline_ms
@@ -410,6 +459,8 @@ async def run_loadgen(
         transport_errors=counters["transport_errors"],
         deadline_misses=counters["deadline_misses"],
         good=counters["good"],
+        shard_latencies_ms=shard_latencies,
+        shard_status_counts=shard_statuses,
     )
 
 

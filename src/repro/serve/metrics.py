@@ -23,6 +23,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_dumps",
     "DEFAULT_LATENCY_BUCKETS",
     "FIT_PHASE_BUCKETS",
     "FIT_PHASES",
@@ -184,6 +185,31 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def raw_counts(self) -> list[int]:
+        """Non-cumulative per-bucket counts, the +inf bucket last."""
+        with self._lock:
+            return list(self._counts)
+
+    def merge_counts(
+        self, counts: Sequence[int], total: float, count: int
+    ) -> None:
+        """Fold another histogram's raw state into this one.
+
+        Used when aggregating shard registries: the other histogram must
+        share this one's bucket bounds (``counts`` has one entry per
+        bound plus the +inf bucket).
+        """
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(counts)} bucket "
+                f"counts into {len(self._counts)} buckets"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._sum += float(total)
+            self._count += int(count)
+
     def bucket_counts(self) -> list[tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, +inf last."""
         with self._lock:
@@ -291,6 +317,77 @@ class MetricsRegistry:
                 }
         return out
 
+    def dump(self) -> dict[str, dict]:
+        """Full mergeable state, JSON-safe (served at ``GET /metrics.json``).
+
+        Unlike :meth:`snapshot` this keeps histogram bucket bounds and
+        raw per-bucket counts, so a set of dumps from different
+        processes can be folded into one registry with
+        :func:`merge_dumps` without losing quantile accuracy.
+        """
+        out: dict[str, dict] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Counter):
+                out[name] = {
+                    "type": "counter",
+                    "help": instrument.help,
+                    "value": instrument.value,
+                }
+            elif isinstance(instrument, Gauge):
+                out[name] = {
+                    "type": "gauge",
+                    "help": instrument.help,
+                    "value": instrument.value,
+                }
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "help": instrument.help,
+                    "buckets": list(instrument.buckets),
+                    "counts": instrument.raw_counts(),
+                    "sum": instrument.total,
+                    "count": instrument.count,
+                }
+        return out
+
+    def merge_dump(self, dump: dict[str, dict]) -> None:
+        """Fold one :meth:`dump` into this registry.
+
+        Counters and gauges add (a fleet-wide gauge like
+        ``serve_objects`` is the sum of the shards' values); histograms
+        add bucket-by-bucket and must share bounds.
+        """
+        for name, entry in dump.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name, help=entry.get("help", "")).inc(
+                    float(entry["value"])
+                )
+            elif kind == "gauge":
+                self.gauge(name, help=entry.get("help", "")).inc(
+                    float(entry["value"])
+                )
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name,
+                    help=entry.get("help", ""),
+                    buckets=tuple(entry["buckets"]),
+                )
+                if list(histogram.buckets) != [
+                    float(b) for b in entry["buckets"]
+                ]:
+                    raise ValueError(
+                        f"histogram {name!r}: shard bucket bounds differ "
+                        "from the aggregate's"
+                    )
+                histogram.merge_counts(
+                    entry["counts"], entry["sum"], entry["count"]
+                )
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown instrument type {kind!r}"
+                )
+
     def render_text(self) -> str:
         """Prometheus-style text exposition (served at ``GET /metrics``)."""
         lines: list[str] = []
@@ -315,6 +412,20 @@ class MetricsRegistry:
                         f'{name}_quantile{{q="{key}"}} {_fmt(value)}'
                     )
         return "\n".join(lines) + "\n"
+
+
+def merge_dumps(dumps: Sequence[dict]) -> MetricsRegistry:
+    """Aggregate registry dumps from several processes into one registry.
+
+    The router's merged ``/metrics`` view is built this way: its own
+    registry's dump plus one fetched from each shard worker.  Counters
+    and gauges sum; histograms sum per bucket (identical bounds
+    required, which holds for homogeneous workers).
+    """
+    merged = MetricsRegistry()
+    for dump in dumps:
+        merged.merge_dump(dump)
+    return merged
 
 
 def _fmt(value: float) -> str:

@@ -381,6 +381,45 @@ class PredictionService:
         self.metrics.counter("fleet_predict_total").inc(len(requests))
         return results
 
+    async def predict_all(
+        self,
+        recents: dict[str, list[tuple[int, float, float]]] | None,
+        query_time: int,
+    ) -> tuple[dict, list[str]]:
+        """Top-1 predictions for many objects at one query time.
+
+        ``recents`` maps object ids to recent windows; ``None`` scores
+        every object with a non-empty ingest-fed tracker window.
+        Returns ``(predictions_by_id, unknown_ids)`` — ids the fleet
+        doesn't know are reported, not fatal, so the shard router can
+        scatter a request and merge per-shard answers.  The batch runs
+        on the executor (serial per object, under each object's lock)
+        and skips the prediction cache: fleet-wide sweeps would only
+        churn it.
+        """
+        unknown: list[str] = []
+        windows: dict[str, list[TimedPoint]] = {}
+        if recents is None:
+            for object_id, tracker in self.trackers.items():
+                if object_id in self.fleet and tracker.window:
+                    windows[object_id] = tracker.window
+        else:
+            for object_id, fixes in recents.items():
+                if object_id not in self.fleet:
+                    unknown.append(object_id)
+                else:
+                    windows[object_id] = [
+                        TimedPoint(t, x, y) for t, x, y in fixes
+                    ]
+        self.metrics.counter("serve_predict_all_requests_total").inc()
+        if not windows:
+            return {}, sorted(unknown)
+        results = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.fleet.predict_all(windows, query_time)
+        )
+        self.metrics.counter("fleet_predict_total").inc(len(results))
+        return results, sorted(unknown)
+
     # ------------------------------------------------------------------
     # ingest path
     # ------------------------------------------------------------------
@@ -472,12 +511,20 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-_METRIC_PATHS = {"/predict", "/ingest", "/objects", "/healthz", "/metrics"}
+_METRIC_PATHS = {
+    "/predict",
+    "/ingest",
+    "/predict_all",
+    "/objects",
+    "/healthz",
+    "/metrics",
+}
 
 #: externally admitted request classes by (method, path)
 _REQUEST_CLASSES = {
     ("POST", "/predict"): "predict",
     ("POST", "/ingest"): "ingest",
+    ("POST", "/predict_all"): "predict",
 }
 
 
@@ -491,7 +538,17 @@ class _HttpLimitError(Exception):
 
 
 class PredictionServer:
-    """Keep-alive HTTP/1.1 front-end for a :class:`PredictionService`."""
+    """Keep-alive HTTP/1.1 front-end for a :class:`PredictionService`.
+
+    Shutdown comes in two grades: :meth:`close` is the abrupt test-suite
+    path (drop connections, cancel handlers), :meth:`shutdown` is the
+    production SIGTERM path — stop accepting, let in-flight requests
+    finish (keep-alive clients are told ``Connection: close`` on their
+    last response), drain pending batches and the refit scheduler, and
+    only then tear sockets down.  ``run_forever(handle_signals=True)``
+    wires SIGTERM/SIGINT to :meth:`shutdown`, which is how both the
+    single-process CLI and the shard workers exit without dropping work.
+    """
 
     def __init__(
         self,
@@ -505,6 +562,8 @@ class PredictionServer:
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
+        self._draining = False
+        self._stop_event: asyncio.Event | None = None
 
     async def start(self) -> None:
         """Bind and start accepting; ``port=0`` picks an ephemeral port."""
@@ -528,14 +587,79 @@ class PredictionServer:
         await asyncio.gather(*self._handlers, return_exceptions=True)
         self._handlers.clear()
 
-    async def run_forever(self) -> None:
-        """Start (if needed) and serve until cancelled."""
+    def request_shutdown(self) -> None:
+        """Ask ``run_forever`` to exit gracefully (signal-handler safe)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def shutdown(self, grace: float = 5.0) -> None:
+        """Graceful stop: drain in-flight requests and background work.
+
+        1. Close the listening socket — no new connections.
+        2. Mark the server draining: every connection handler finishes
+           its current request, answers it with ``Connection: close``,
+           and exits; wait up to ``grace`` seconds for that.
+        3. Drain the service — pending prediction batches complete and
+           the :class:`~repro.serve.refit.RefitScheduler` runs to
+           quiescence, so an ingest accepted before the signal still
+           lands in the model.
+        4. Force-close whatever is left (slow-loris stragglers).
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._draining = True
+        deadline = time.monotonic() + max(0.0, grace)
+        while self._handlers and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        await self.service.drain()
+        await self.close()
+
+    async def run_forever(
+        self, *, handle_signals: bool = False, grace: float = 5.0
+    ) -> None:
+        """Start (if needed) and serve until cancelled or signalled.
+
+        With ``handle_signals=True``, SIGTERM and SIGINT trigger a
+        graceful :meth:`shutdown` with ``grace`` seconds of drain
+        instead of killing the loop mid-request.
+        """
+        import signal as _signal
+
         if self._server is None:
             await self.start()
+        self._stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list = []
+        if handle_signals:
+            for sig in (_signal.SIGTERM, _signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.request_shutdown)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or unsupported platform
+        serve_task = asyncio.ensure_future(self._server.serve_forever())
+        stop_task = asyncio.ensure_future(self._stop_event.wait())
         try:
-            await self._server.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
-            await self.close()
+            stopped = self._stop_event.is_set()
+            for task in (serve_task, stop_task):
+                task.cancel()
+            await asyncio.gather(
+                serve_task, stop_task, return_exceptions=True
+            )
+            for sig in installed:
+                with suppress(Exception):
+                    loop.remove_signal_handler(sig)
+            self._stop_event = None
+            if stopped:
+                await self.shutdown(grace)
+            else:
+                await self.close()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -607,8 +731,8 @@ class PredictionServer:
                     try:
                         if chaos is not None:
                             chaos.raise_for_error()
-                        status, ctype, payload, extra = await route(
-                            self.service, method, path, body
+                        status, ctype, payload, extra = await self._dispatch(
+                            method, path, body
                         )
                     except Exception as exc:  # handler bug: answer, keep serving
                         metrics.counter("serve_http_errors_total").inc()
@@ -631,6 +755,7 @@ class PredictionServer:
                 )
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
+                    and not self._draining
                 )
                 self._write_response(
                     writer, status, ctype, payload, extra, keep_alive
@@ -656,6 +781,13 @@ class PredictionServer:
             writer.close()
             with suppress(Exception):
                 await writer.wait_closed()
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, bytes, dict[str, str]]:
+        """Route one parsed request; the shard router front-end overrides
+        this to forward instead of handling locally."""
+        return await route(self.service, method, path, body)
 
     @staticmethod
     def _client_id(headers: dict[str, str], writer: asyncio.StreamWriter) -> str:

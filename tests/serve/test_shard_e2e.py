@@ -1,0 +1,228 @@
+"""Multi-process sharded serving, end to end.
+
+Stands up a real deployment — router in this process, shard workers as
+``python -m repro shard-worker`` subprocesses — and drives it over HTTP:
+loadgen round-trip, byte-identity against a single-process service over
+the same snapshot, a worker SIGKILL mid-flight (supervisor restarts it,
+router degrades then recovers), and a graceful SIGTERM drain (exit 0).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import FleetPredictionModel
+from repro.core.persistence import load_fleet, save_fleet
+from repro.serve import (
+    HttpClient,
+    PredictionService,
+    ServeConfig,
+    build_workload,
+    run_loadgen,
+)
+from repro.serve.handlers import encode_json, route
+from repro.serve.shard import (
+    RouterConfig,
+    RouterServer,
+    RouterService,
+    ShardCluster,
+)
+
+from tests.serve.conftest import commuter_base, commuter_history
+
+NUM_SHARDS = 2
+OBJECT_IDS = ["bus-0", "bus-1", "bus-2"]
+NUM_DAYS = 15
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory, hpm_config):
+    fleet = FleetPredictionModel(hpm_config)
+    fleet.fit(
+        {
+            object_id: commuter_history(num_days=NUM_DAYS, seed=23 + i)
+            for i, object_id in enumerate(OBJECT_IDS)
+        }
+    )
+    path = tmp_path_factory.mktemp("fleet") / "snapshot"
+    save_fleet(fleet, path)
+    return path
+
+
+def recent_window(length: int = 4) -> list[list[float]]:
+    base = commuter_base()
+    start = NUM_DAYS * len(base)
+    return [
+        [start + i, float(base[i][0]) + 1.0, float(base[i][1]) + 1.0]
+        for i in range(length)
+    ]
+
+
+def predict_body(object_id: str) -> bytes:
+    window = recent_window()
+    return encode_json(
+        {
+            "object_id": object_id,
+            "recent": window,
+            "query_time": int(window[-1][0]) + 3,
+        }
+    )
+
+
+def shard_stack(snapshot_dir, scenario):
+    """Run ``scenario(router, cluster, server)`` against a live stack."""
+
+    async def body():
+        router = RouterService(
+            RouterConfig(
+                num_shards=NUM_SHARDS,
+                probe_interval=0.1,
+                probe_fail_threshold=2,
+            )
+        )
+        cluster = ShardCluster(
+            snapshot_dir,
+            NUM_SHARDS,
+            restart_backoff=0.2,
+            on_ready=router.attach_shard,
+            on_down=router.detach_shard,
+        )
+        await cluster.start()
+        server = RouterServer(router)
+        try:
+            await server.start()
+            return await scenario(router, cluster, server)
+        finally:
+            await server.close()
+            await cluster.stop(grace=5.0)
+
+    return asyncio.run(body())
+
+
+async def wait_for(predicate, timeout: float, interval: float = 0.1):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        if predicate():
+            return
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("condition not reached in time")
+        await asyncio.sleep(interval)
+
+
+class TestShardE2E:
+    def test_loadgen_round_trip_and_byte_identity(self, snapshot_dir):
+        single = PredictionService(load_fleet(snapshot_dir), ServeConfig())
+
+        async def scenario(router, cluster, server):
+            client = HttpClient("127.0.0.1", server.port)
+            try:
+                # Byte identity per object against the single-process
+                # service over the very same snapshot.
+                for object_id in OBJECT_IDS:
+                    body = predict_body(object_id)
+                    status, headers, routed = await client.request_raw(
+                        "POST", "/predict", body
+                    )
+                    expected_status, _, expected, _ = await route(
+                        single, "POST", "/predict", body
+                    )
+                    assert (status, routed) == (expected_status, expected)
+                    assert headers["x-shard"] == str(
+                        router.ring.shard_for(object_id)
+                    )
+
+                _, _, health = await client.request("GET", "/healthz")
+                payload = json.loads(health)
+                assert payload["status"] == "ok"
+                assert payload["objects"] == len(OBJECT_IDS)
+            finally:
+                await client.close()
+
+            # A loadgen burst through the router: zero errors, and the
+            # per-shard breakdown attributes every response.
+            workload = build_workload(
+                commuter_history(num_days=NUM_DAYS, seed=23),
+                object_id="bus-0",
+                requests=80,
+                distinct=10,
+            )
+            report = await run_loadgen(
+                "127.0.0.1", server.port, workload, concurrency=4
+            )
+            assert report.errors == 0
+            assert report.status_counts == {200: 80}
+            owner = str(router.ring.shard_for("bus-0"))
+            assert set(report.shard_status_counts) == {owner}
+            assert sum(len(v) for v in report.shard_latencies_ms.values()) == 80
+            assert f"shard {owner}:" in report.format()
+
+        shard_stack(snapshot_dir, scenario)
+
+    def test_worker_kill_degrades_then_recovers(self, snapshot_dir):
+        async def scenario(router, cluster, server):
+            victim_shard = router.ring.shard_for("bus-0")
+            body = predict_body("bus-0")
+            client = HttpClient("127.0.0.1", server.port)
+            try:
+                status, _, full_quality = await client.request_raw(
+                    "POST", "/predict", body
+                )
+                assert status == 200
+
+                old_pid = cluster.workers[victim_shard].process.pid
+                cluster.kill_worker(victim_shard)
+                await wait_for(
+                    lambda: not cluster.workers[victim_shard].alive
+                    or cluster.workers[victim_shard].process.pid != old_pid,
+                    timeout=5.0,
+                )
+
+                # Mid-outage the router answers from its stale cache.
+                status, headers, stale = await client.request_raw(
+                    "POST", "/predict", body
+                )
+                assert status == 200
+                assert headers.get("x-degraded") == "true"
+                degraded = json.loads(stale)
+                assert degraded.pop("degraded") is True
+                assert degraded == json.loads(full_quality)
+
+                # Supervision restarts the worker; the router re-attaches
+                # and full-quality service resumes on the new port.
+                await wait_for(
+                    lambda: cluster.workers[victim_shard].process.pid != old_pid
+                    and router.shard_states()
+                    .get(victim_shard, {})
+                    .get("healthy", False),
+                    timeout=30.0,
+                )
+                assert cluster.workers[victim_shard].restarts == 1
+
+                async def recovered():
+                    status, headers, answer = await client.request_raw(
+                        "POST", "/predict", body
+                    )
+                    return (
+                        status == 200
+                        and headers.get("x-degraded") != "true"
+                        and answer == full_quality
+                    )
+
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while not await recovered():
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.2)
+            finally:
+                await client.close()
+
+        shard_stack(snapshot_dir, scenario)
+
+    def test_sigterm_drains_and_exits_zero(self, snapshot_dir):
+        async def scenario(router, cluster, server):
+            handle = cluster.workers[0]
+            handle.process.terminate()
+            await wait_for(lambda: handle.process.poll() is not None, timeout=10.0)
+            assert handle.process.returncode == 0
+
+        shard_stack(snapshot_dir, scenario)

@@ -1,0 +1,106 @@
+"""Consistent-hash ring invariants the sharded stack leans on.
+
+The ring is placement truth for the router, the workers, and snapshot
+splitting, so these tests pin its contract: balanced distribution,
+bounded remapping on grow/shrink (moved keys land only on the
+added/removed shard), and bit-identical placement across interpreter
+processes with different hash seeds.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.serve.shard import HashRing
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+KEYS = [f"object-{i}" for i in range(4000)]
+
+
+class TestDistribution:
+    def test_uniform_within_tolerance(self):
+        ring = HashRing(4)
+        counts = ring.distribution(KEYS)
+        mean = len(KEYS) / 4
+        assert sum(counts) == len(KEYS)
+        for count in counts:
+            # 96 vnodes keeps shards within a few tens of percent.
+            assert 0.5 * mean <= count <= 1.6 * mean, counts
+
+    def test_assignments_cover_every_shard_and_key(self):
+        ring = HashRing(8, replicas=16)
+        groups = ring.assignments(KEYS[:500])
+        assert sorted(groups) == list(range(8))
+        regrouped = sorted(k for keys in groups.values() for k in keys)
+        assert regrouped == sorted(KEYS[:500])
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert ring.distribution(KEYS[:100]) == [100]
+
+
+class TestRemapping:
+    def test_growing_moves_a_bounded_fraction_onto_the_new_shard(self):
+        old = HashRing(4)
+        new = HashRing(5)
+        moved = old.moved_keys(new, KEYS)
+        # Ideal is 1/5 of keys; allow generous slack for vnode variance.
+        assert len(moved) <= 0.35 * len(KEYS), len(moved)
+        assert moved, "growing a ring must move *some* keys"
+        # Every moved key must land on the shard that was added —
+        # traffic between surviving shards never reshuffles.
+        assert {new.shard_for(k) for k in moved} == {4}
+
+    def test_shrinking_moves_only_the_removed_shards_keys(self):
+        big = HashRing(5)
+        small = HashRing(4)
+        for key in KEYS:
+            if big.shard_for(key) != small.shard_for(key):
+                assert big.shard_for(key) == 4
+            else:
+                assert big.shard_for(key) < 4
+
+    def test_different_salts_are_independent_rings(self):
+        a = HashRing(4, salt="ring-a")
+        b = HashRing(4, salt="ring-b")
+        assert a.moved_keys(b, KEYS[:1000]), "salts should change placement"
+
+
+class TestDeterminism:
+    def test_placement_is_stable_across_processes(self):
+        """A router and a worker in different interpreters (different
+        PYTHONHASHSEED) must compute identical placements."""
+        keys = KEYS[:64]
+        local = [HashRing(4).shard_for(k) for k in keys]
+        script = (
+            "from repro.serve.shard import HashRing\n"
+            "ring = HashRing(4)\n"
+            f"print(','.join(str(ring.shard_for(k)) for k in {keys!r}))\n"
+        )
+        for seed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": SRC_DIR},
+                check=True,
+            )
+            remote = [int(s) for s in result.stdout.strip().split(",")]
+            assert remote == local
+
+    def test_repeated_construction_is_identical(self):
+        a = HashRing(6, replicas=32)
+        b = HashRing(6, replicas=32)
+        assert not a.moved_keys(b, KEYS[:1000])
+
+
+class TestValidation:
+    def test_bad_arguments_raise(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(4, replicas=0)
