@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush a batch early at this many distinct requests")
     serve.add_argument("--update-after", type=int, default=None,
                        help="refit an object after this many ingested fixes")
+    serve.add_argument("--refit-mode", choices=("delta", "full"), default=None,
+                       help="override the models' refit mode (default: model config, "
+                            "normally delta — incremental re-mine + in-place TPT patch)")
+    serve.add_argument("--refit-full-every", type=int, default=None,
+                       help="force a full re-mine every Nth refit per object")
+    serve.add_argument("--gap-policy", choices=("reject", "pad"), default="reject",
+                       help="non-contiguous ingested fixes: reject the flush or pad "
+                            "gaps with the last known position")
     serve.add_argument("--warmup-workers", type=int, default=None,
                        help="parallel workers for fleet-snapshot warm-up")
     serve.add_argument("--max-inflight-predict", type=int, default=256,
@@ -217,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard_worker.add_argument("--cache-ttl", type=float, default=30.0)
     shard_worker.add_argument("--batch-window-ms", type=float, default=2.0)
     shard_worker.add_argument("--update-after", type=int, default=None)
+    shard_worker.add_argument("--refit-mode", choices=("delta", "full"), default=None)
+    shard_worker.add_argument("--refit-full-every", type=int, default=None)
+    shard_worker.add_argument("--gap-policy", choices=("reject", "pad"),
+                              default="reject")
 
     shard_snapshot = sub.add_parser(
         "shard-snapshot",
@@ -445,6 +457,9 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         batch_delay=args.batch_window_ms / 1000.0,
         update_after=args.update_after,
+        refit_mode=args.refit_mode,
+        refit_full_every=args.refit_full_every,
+        gap_policy=args.gap_policy,
         enable_cache=args.cache_ttl > 0,
         enable_batching=args.batch_window_ms > 0,
         max_inflight_predict=args.max_inflight_predict,
@@ -542,6 +557,9 @@ def _cmd_shard_worker(args) -> int:
         batch_delay=args.batch_window_ms / 1000.0,
         enable_batching=args.batch_window_ms > 0,
         update_after=args.update_after,
+        refit_mode=args.refit_mode,
+        refit_full_every=args.refit_full_every,
+        gap_policy=args.gap_policy,
     )
     try:
         return asyncio.run(

@@ -17,6 +17,14 @@ from .patterns import (
 )
 from .plan import PreparedQuery
 from .prediction import HybridPredictor, Prediction, default_motion_factory
+from .refit import (
+    CorpusDelta,
+    RefitStats,
+    StagedUpdate,
+    StaleUpdateError,
+    delta_discover_frequent_regions,
+    delta_mine_trajectory_patterns,
+)
 from .regions import FrequentRegion, RegionSet, discover_frequent_regions
 from .similarity import (
     WEIGHT_FUNCTIONS,
@@ -31,6 +39,7 @@ from .tpt import TrajectoryPatternTree
 
 __all__ = [
     "CandidateExplanation",
+    "CorpusDelta",
     "FleetFitError",
     "FleetPredictionModel",
     "HPMConfig",
@@ -45,7 +54,10 @@ __all__ = [
     "PremiseScorer",
     "PreparedQuery",
     "QueryExplanation",
+    "RefitStats",
     "RegionSet",
+    "StagedUpdate",
+    "StaleUpdateError",
     "TrajectoryPattern",
     "TrajectoryPatternTree",
     "WEIGHT_FUNCTIONS",
@@ -54,6 +66,8 @@ __all__ = [
     "consequence_similarity",
     "count_rules_unpruned",
     "default_motion_factory",
+    "delta_discover_frequent_regions",
+    "delta_mine_trajectory_patterns",
     "discover_frequent_regions",
     "explain_query",
     "fqp_score",

@@ -73,6 +73,18 @@ class HPMConfig:
         motion function.
     tree_max_entries / tree_min_entries:
         TPT node capacity and minimum fill.
+    refit_mode:
+        How :meth:`HybridPredictionModel.update` refreshes mined state:
+        ``"delta"`` (default) re-clusters only the offsets that received
+        new rows, re-scores only the rules a changed region can move, and
+        patches the TPT in place — byte-identical to a scratch fit (see
+        DESIGN.md §11); ``"full"`` always re-mines the whole history (the
+        legacy path).  Either mode rebuilds the index when key geometry
+        drifts.
+    refit_full_every:
+        Staleness budget: force a full re-mine after this many consecutive
+        delta refits (``None`` = never — delta refits are exact, so the
+        budget is a belt-and-braces knob, not a correctness requirement).
     """
 
     period: int = 300
@@ -91,6 +103,8 @@ class HPMConfig:
     recent_window: int = 10
     tree_max_entries: int = 32
     tree_min_entries: int | None = None
+    refit_mode: str = "delta"
+    refit_full_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -140,6 +154,14 @@ class HPMConfig:
             )
         if self.recent_window < 2:
             raise ValueError(f"recent_window must be >= 2, got {self.recent_window}")
+        if self.refit_mode not in ("delta", "full"):
+            raise ValueError(
+                f"refit_mode must be 'delta' or 'full', got {self.refit_mode!r}"
+            )
+        if self.refit_full_every is not None and self.refit_full_every < 1:
+            raise ValueError(
+                f"refit_full_every must be >= 1 or None, got {self.refit_full_every}"
+            )
 
     @property
     def effective_min_support(self) -> int:

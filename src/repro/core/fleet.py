@@ -53,6 +53,7 @@ from .config import HPMConfig
 from .model import HybridPredictionModel
 from .parallel import run_keyed_tasks
 from .prediction import Prediction, default_motion_factory
+from .refit import StaleUpdateError
 
 __all__ = ["FleetFitError", "FleetPredictionModel"]
 
@@ -335,12 +336,36 @@ class FleetPredictionModel:
             self._object_locks.setdefault(object_id, lock)
 
     def update_object(
-        self, object_id: str, new_positions: np.ndarray | Sequence[Sequence[float]]
+        self,
+        object_id: str,
+        new_positions: np.ndarray | Sequence[Sequence[float]],
+        refit: str | None = None,
     ) -> HybridPredictionModel:
-        """Stream new movements into one object's model."""
+        """Stream new movements into one object's model.
+
+        The heavy refresh phases run outside the object lock (concurrent
+        ``predict`` calls against the same object proceed meanwhile); only
+        the final state swap serialises.  If another writer lands between
+        prepare and commit the refresh is re-prepared against the new
+        state, falling back to a fully-locked update after repeated
+        conflicts.  ``refit`` overrides the model's configured refit mode
+        (``"delta"``/``"full"``; ``None`` = model default).
+        """
+        for _attempt in range(3):
+            with self.object_lock(object_id):
+                model = self[object_id]
+            staged = model.prepare_update(new_positions, refit=refit)
+            with self.object_lock(object_id):
+                if self[object_id] is not model:
+                    continue  # model swapped (fit_object/adopt) — redo
+                try:
+                    model.commit_update(staged)
+                    return model
+                except StaleUpdateError:
+                    continue
         with self.object_lock(object_id):
             model = self[object_id]
-            model.update(new_positions)
+            model.update(new_positions, refit=refit)
             return model
 
     def drop_object(self, object_id: str) -> None:

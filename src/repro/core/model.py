@@ -30,6 +30,15 @@ from .keys import KeyCodec
 from .patterns import PatternMiningStats, TrajectoryPattern, mine_trajectory_patterns
 from .plan import PreparedQuery
 from .prediction import HybridPredictor, Prediction, default_motion_factory
+from .refit import (
+    CorpusDelta,
+    RefitStats,
+    StagedUpdate,
+    StaleUpdateError,
+    delta_discover_frequent_regions,
+    delta_mine_trajectory_patterns,
+    intern_regions,
+)
 from .regions import RegionSet, discover_frequent_regions
 from .tpt import TrajectoryPatternTree
 
@@ -70,6 +79,12 @@ class HybridPredictionModel:
         self._predictor: HybridPredictor | None = None
         self._metrics = None
         self._fit_phase_seconds: dict[str, float] = {}
+        # Monotonic token identifying the installed fitted state; a staged
+        # update prepared against an older token is refused by
+        # commit_update (see StaleUpdateError).
+        self._state_token = 0
+        self._deltas_since_full = 0
+        self._last_refit_stats: RefitStats | None = None
 
     def bind_metrics(self, registry) -> None:
         """Attach a metrics registry to instrument the predict hot path.
@@ -89,6 +104,14 @@ class HybridPredictionModel:
         state["_metrics"] = None
         return state
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Snapshots written before the incremental-refit bookkeeping
+        # existed restore with fresh counters.
+        self.__dict__.setdefault("_state_token", 0)
+        self.__dict__.setdefault("_deltas_since_full", 0)
+        self.__dict__.setdefault("_last_refit_stats", None)
+
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
@@ -103,61 +126,258 @@ class HybridPredictionModel:
         self._fit_phase_seconds = {}
         self._rebuild()
         self._observe_fit_phases()
+        self._state_token += 1
+        self._deltas_since_full = 0
+        self._last_refit_stats = None
         return self
 
-    def update(self, new_positions: np.ndarray | Sequence[Sequence[float]]) -> "HybridPredictionModel":
+    def update(
+        self,
+        new_positions: np.ndarray | Sequence[Sequence[float]],
+        *,
+        refit: str | None = None,
+    ) -> "HybridPredictionModel":
         """Append newly observed movements and refresh the pattern corpus.
 
-        The paper's dynamic-data path mines patterns from the accumulated
-        history and adds new ones to the TPT with the insertion algorithm;
-        when the key tables must grow (new frequent regions or consequence
-        offsets), the index is re-encoded instead (see DESIGN.md).
+        The paper's dynamic-data path folds accumulated data back into the
+        mined state.  With ``refit="delta"`` (the config default) only the
+        offsets that received new rows are re-clustered and only the rules
+        a changed region can move are re-scored; the TPT is patched in
+        place via the paper's dynamic insertion (Algorithm 1) and entry
+        removal.  ``refit="full"`` re-mines the whole history.  Both modes
+        produce state byte-identical to :meth:`fit` over the concatenated
+        history, and both rebuild the index when the key geometry drifts
+        (new/removed frequent regions or consequence offsets).
+
+        Equivalent to ``commit_update(prepare_update(...))``; callers that
+        hold a lock during model mutation can run :meth:`prepare_update`
+        outside it and only serialise the cheap commit.
+        """
+        staged = self.prepare_update(new_positions, refit=refit)
+        self.commit_update(staged)
+        return self
+
+    def prepare_update(
+        self,
+        new_positions: np.ndarray | Sequence[Sequence[float]],
+        *,
+        refit: str | None = None,
+    ) -> StagedUpdate:
+        """Compute a model refresh without mutating the model.
+
+        Runs the heavy phases — (delta) clustering, (delta) mining and the
+        corpus diff — against a snapshot of the current state and returns
+        a :class:`StagedUpdate` for :meth:`commit_update`.  Thread-safe
+        with concurrent readers; a concurrent writer that lands first
+        makes the eventual commit raise :class:`StaleUpdateError`.
         """
         self._require_fitted()
-        assert self._history is not None
-        appended = np.vstack(
-            [self._history.positions, np.asarray(new_positions, dtype=np.float64)]
-        )
-        self._history = Trajectory(appended, start_time=self._history.start_time)
-
+        # Token first: a concurrent install between this read and the
+        # field reads below is caught by commit_update's token check.
+        token = self._state_token
+        old_history = self._history
+        old_regions = self._regions
+        old_patterns = self._patterns
+        old_stats = self._mining_stats
         old_codec = self._codec
-        old_by_identity = {
-            (p.premise, p.consequence): p for p in self._patterns
-        }
-        self._fit_phase_seconds = {}
-        self._mine(self._history)
+        old_tree = self._tree
+        assert old_history is not None and old_regions is not None
+        cfg = self.config
+
+        new_rows = np.asarray(new_positions, dtype=np.float64)
+        if new_rows.ndim != 2 or new_rows.shape[1] != 2:
+            raise ValueError(
+                f"new_positions must have shape (n, 2), got {new_rows.shape}"
+            )
+        if new_rows.shape[0] == 0:
+            raise ValueError("new_positions is empty; nothing to fold in")
+        history = Trajectory(
+            np.vstack([old_history.positions, new_rows]),
+            start_time=old_history.start_time,
+        )
+
+        mode = refit if refit is not None else cfg.refit_mode
+        if mode not in ("delta", "full"):
+            raise ValueError(f"refit must be 'delta' or 'full', got {mode!r}")
+        fallback = None
         if (
-            old_codec is not None
-            and self._tree is not None
-            and all(old_codec.covers(p) for p in self._patterns)
+            mode == "delta"
+            and cfg.refit_full_every is not None
+            and self._deltas_since_full >= cfg.refit_full_every
         ):
-            # Same key geometry: keep the tree.  New patterns go in via
-            # Algorithm 1 (the paper's dynamic insertion); re-mined
-            # patterns whose confidence/support moved replace their stale
-            # entry.  Patterns that no longer clear the thresholds are
-            # retired.
-            index_start = time.perf_counter()
-            new_identities = set()
-            for pattern in self._patterns:
-                identity = (pattern.premise, pattern.consequence)
-                new_identities.add(identity)
-                old = old_by_identity.get(identity)
-                if old is None:
-                    self._tree.insert_pattern(pattern)
-                elif (
-                    old.confidence != pattern.confidence
-                    or old.support != pattern.support
-                ):
-                    self._tree.remove_pattern(old)
-                    self._tree.insert_pattern(pattern)
-            for identity, old in old_by_identity.items():
-                if identity not in new_identities:
-                    self._tree.remove_pattern(old)
+            mode, fallback = "full", "staleness"
+
+        num_subs = (len(history) + cfg.period - 1) // cfg.period
+        phase_seconds: dict[str, float] = {}
+        cluster_start = time.perf_counter()
+        if mode == "delta":
+            first_new = old_history.end_time + 1
+            dirty = np.unique(
+                (first_new + np.arange(new_rows.shape[0])) % cfg.period
+            )
+            dirty_count = int(dirty.shape[0])
+            regions, changed = delta_discover_frequent_regions(
+                history,
+                old_regions,
+                dirty.tolist(),
+                eps=cfg.eps,
+                min_pts=cfg.min_pts,
+            )
+        else:
+            dirty_count = cfg.period
+            fresh = discover_frequent_regions(
+                history, period=cfg.period, eps=cfg.eps, min_pts=cfg.min_pts
+            )
+            regions, changed = intern_regions(fresh, old_regions)
+        mine_start = time.perf_counter()
+        phase_seconds["cluster"] = mine_start - cluster_start
+
+        corpus_delta: CorpusDelta | None = None
+        if len(regions) == 0:
+            patterns: list[TrajectoryPattern] = []
+            mining_stats = PatternMiningStats(
+                num_transactions=num_subs,
+                num_frequent_items=0,
+                num_frequent_premises=0,
+                num_patterns=0,
+            )
+        elif mode == "delta":
+            patterns, mining_stats, corpus_delta = delta_mine_trajectory_patterns(
+                regions,
+                num_subtrajectories=num_subs,
+                min_support=cfg.effective_min_support,
+                min_confidence=cfg.min_confidence,
+                old_patterns=old_patterns,
+                old_masks=old_stats.region_masks if old_stats is not None else None,
+                changed_regions=changed,
+                max_premise_length=cfg.max_premise_length,
+                max_premise_span=cfg.max_premise_span,
+                max_consequence_gap=cfg.effective_max_consequence_gap,
+                far_premise_stride=cfg.far_premise_stride,
+            )
+        else:
+            patterns, mining_stats = mine_trajectory_patterns(
+                regions,
+                num_subtrajectories=num_subs,
+                min_support=cfg.effective_min_support,
+                min_confidence=cfg.min_confidence,
+                max_premise_length=cfg.max_premise_length,
+                max_premise_span=cfg.max_premise_span,
+                max_consequence_gap=cfg.effective_max_consequence_gap,
+                far_premise_stride=cfg.far_premise_stride,
+                return_stats=True,
+            )
+        phase_seconds["mine"] = time.perf_counter() - mine_start
+
+        consequence_offsets = sorted({p.consequence.offset for p in patterns})
+        if not patterns:
+            plan = "clear"
+        elif mode != "delta" or old_tree is None or old_codec is None:
+            # A full re-mine rebuilds its index wholesale — that *is* the
+            # baseline the delta path is measured against; diffing a fully
+            # re-mined corpus would cost more than the rebuild.
+            plan = "rebuild"
+        elif [(r.offset, r.index) for r in regions] != [
+            (r.offset, r.index) for r in old_regions
+        ]:
+            # Region universe changed: every region id (hence every stored
+            # premise key) would shift — re-encode from scratch.
+            plan = "rebuild"
+        elif consequence_offsets != old_codec.consequence_offsets():
+            plan = "rebuild"
+        else:
+            plan = "patch"
+
+        if plan == "clear":
+            index_desc = "cleared"
+        elif plan == "rebuild":
+            index_desc = "rebuilt"
+        elif corpus_delta.empty:
+            index_desc = "kept"
+        else:
+            index_desc = "patched"
+        if corpus_delta is not None:
+            added, removed = corpus_delta.added, corpus_delta.removed
+            replaced, kept = corpus_delta.replaced, corpus_delta.kept
+        else:
+            # Full re-mine: the corpus is not diffed (see plan above);
+            # report wholesale replacement.
+            added, removed, replaced, kept = len(patterns), len(old_patterns), 0, 0
+        stats = RefitStats(
+            mode=mode,
+            fallback=fallback,
+            index=index_desc,
+            new_rows=int(new_rows.shape[0]),
+            dirty_offsets=dirty_count,
+            changed_regions=len(changed),
+            patterns_added=added,
+            patterns_removed=removed,
+            patterns_replaced=replaced,
+            patterns_kept=kept,
+        )
+        use_ops = plan == "patch" and corpus_delta is not None
+        return StagedUpdate(
+            token=token,
+            history=history,
+            regions=regions,
+            patterns=patterns,
+            mining_stats=mining_stats,
+            refit=stats,
+            index_plan=plan,
+            consequence_offsets=consequence_offsets,
+            insert_ops=corpus_delta.inserts if use_ops else [],
+            remove_ops=corpus_delta.removes if use_ops else [],
+            rebind_ops=corpus_delta.rebinds if use_ops else [],
+            phase_seconds=phase_seconds,
+        )
+
+    def commit_update(self, staged: StagedUpdate) -> "HybridPredictionModel":
+        """Install a refresh prepared by :meth:`prepare_update`.
+
+        Cheap relative to preparation: a pointer swap plus bounded TPT
+        surgery (or a fresh index build on geometry drift).  Raises
+        :class:`StaleUpdateError` without touching any state when the
+        model was re-fitted/updated after the staged update was prepared.
+        """
+        self._require_fitted()
+        if staged.token != self._state_token:
+            raise StaleUpdateError(
+                "model state advanced since prepare_update (token "
+                f"{staged.token} != {self._state_token}); prepare again"
+            )
+        index_start = time.perf_counter()
+        self._history = staged.history
+        self._regions = staged.regions
+        self._patterns = staged.patterns
+        self._mining_stats = staged.mining_stats
+        self._fit_phase_seconds = dict(staged.phase_seconds)
+        if staged.index_plan == "patch":
+            tree = self._tree
+            assert tree is not None
+            codec = KeyCodec(staged.regions, staged.consequence_offsets)
+            tree.rebind_codec(codec)
+            self._codec = codec
+            # Re-scored same-position rules first: their keys are
+            # unchanged, so they are payload swaps, not tree surgery.
+            tree.rebind_patterns(staged.rebind_ops)
+            for pattern in staged.remove_ops:
+                tree.remove_pattern(pattern)
+            for pattern in staged.insert_ops:
+                tree.insert_pattern(pattern)
             self._refresh_predictor()
             self._fit_phase_seconds["index"] = time.perf_counter() - index_start
         else:
             self._build_index()
+        self._last_refit_stats = staged.refit
+        self._deltas_since_full = (
+            0 if staged.refit.mode == "full" else self._deltas_since_full + 1
+        )
+        self._state_token += 1
         self._observe_fit_phases()
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"model_refit_total_{staged.refit.mode}"
+            ).inc()
         return self
 
     def _rebuild(self) -> None:
@@ -184,6 +404,9 @@ class HybridPredictionModel:
             num_patterns=len(patterns),
         )
         self._build_index()
+        self._state_token += 1
+        self._deltas_since_full = 0
+        self._last_refit_stats = None
 
     def _mine(self, trajectory: Trajectory) -> None:
         cfg = self.config
@@ -474,6 +697,11 @@ class HybridPredictionModel:
         models restored from snapshots written by older versions.
         """
         return dict(getattr(self, "_fit_phase_seconds", None) or {})
+
+    @property
+    def last_refit_stats_(self) -> RefitStats | None:
+        """What the most recent :meth:`update` did (``None`` after fit)."""
+        return self._last_refit_stats
 
     @property
     def pattern_count(self) -> int:

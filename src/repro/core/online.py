@@ -10,10 +10,13 @@ accumulated" trigger, made explicit).
 
 Concurrency contract
 --------------------
-Every public method serialises on a reentrant lock, so interleaved
-``observe`` / ``predict`` / ``flush_updates`` calls from multiple
-threads (or an asyncio server's executor) can never corrupt the window
-or observe a half-refreshed model.  When the wrapped model is shared
+Every public method serialises its state access on a reentrant lock, so
+interleaved ``observe`` / ``predict`` / ``flush_updates`` calls from
+multiple threads (or an asyncio server's executor) can never corrupt the
+window or observe a half-refreshed model.  ``flush_updates`` runs the
+heavy model refresh *outside* the lock (prepare/commit split — see
+:meth:`HybridPredictionModel.prepare_update`), so predictions are only
+blocked for the brief state swap.  When the wrapped model is shared
 with a :class:`~repro.core.fleet.FleetPredictionModel`, pass
 ``lock=fleet.object_lock(object_id)`` so tracker and fleet serialise on
 the *same* lock — otherwise each would guard the model independently
@@ -28,8 +31,16 @@ from collections import deque
 from ..trajectory.point import TimedPoint
 from .model import HybridPredictionModel
 from .prediction import Prediction
+from .refit import StaleUpdateError
 
 __all__ = ["OnlineTracker"]
+
+_GAP_POLICIES = ("reject", "pad")
+
+# How many times flush_updates re-prepares after losing a commit race to a
+# concurrent writer before giving up (the caller's retry/backoff — e.g.
+# the serve RefitScheduler — takes over; the claimed fixes are restored).
+_FLUSH_CONFLICT_RETRIES = 3
 
 
 class OnlineTracker:
@@ -48,6 +59,22 @@ class OnlineTracker:
         it makes.  Defaults to a private lock; pass the owning fleet's
         ``object_lock(object_id)`` when the model is shared (see the
         module docstring).
+    gap_policy:
+        What :meth:`flush_updates` does when the accumulated fixes are not
+        contiguous with the model's history (the model's dense history
+        assigns ``start_time + row`` to row ``row``, so silently appending
+        gapped fixes would shift every later offset's phase).  ``"reject"``
+        (default) raises a :class:`ValueError` naming the discontinuity;
+        ``"pad"`` fills forward gaps by repeating the last known position.
+        Fixes claiming timestamps the history already covers are always
+        rejected.
+    refit_mode:
+        Per-flush override of the model's ``config.refit_mode`` (``None``
+        = use the model default).
+    full_refit_every:
+        Tracker-level staleness budget: force ``refit="full"`` on every
+        Nth flush (``None`` = never force; the model may still fall back
+        on its own ``refit_full_every``).
     """
 
     def __init__(
@@ -55,13 +82,32 @@ class OnlineTracker:
         model: HybridPredictionModel,
         update_after: int | None = None,
         lock: threading.RLock | None = None,
+        gap_policy: str = "reject",
+        refit_mode: str | None = None,
+        full_refit_every: int | None = None,
     ):
         if not model.is_fitted:
             raise ValueError("OnlineTracker needs a fitted model")
         if update_after is not None and update_after < 1:
             raise ValueError(f"update_after must be >= 1, got {update_after}")
+        if gap_policy not in _GAP_POLICIES:
+            raise ValueError(
+                f"gap_policy must be one of {_GAP_POLICIES}, got {gap_policy!r}"
+            )
+        if refit_mode is not None and refit_mode not in ("delta", "full"):
+            raise ValueError(
+                f"refit_mode must be 'delta', 'full' or None, got {refit_mode!r}"
+            )
+        if full_refit_every is not None and full_refit_every < 1:
+            raise ValueError(
+                f"full_refit_every must be >= 1 or None, got {full_refit_every}"
+            )
         self.model = model
         self.update_after = update_after
+        self.gap_policy = gap_policy
+        self.refit_mode = refit_mode
+        self.full_refit_every = full_refit_every
+        self._flushes_since_full = 0
         self._lock = lock if lock is not None else threading.RLock()
         self._window: deque[TimedPoint] = deque(
             maxlen=model.config.recent_window
@@ -134,18 +180,96 @@ class OnlineTracker:
     def flush_updates(self) -> int:
         """Feed the accumulated fixes into the model's dynamic-update path.
 
-        Returns the number of fixes flushed.  Positions are appended to
-        the model's history verbatim; the model re-mines and inserts or
-        rebuilds as needed (see :meth:`HybridPredictionModel.update`).
+        Returns the number of fixes flushed (excluding any padding rows a
+        ``"pad"`` gap policy synthesised).  The heavy refresh phases run
+        *outside* the lock — :meth:`HybridPredictionModel.prepare_update`
+        computes the new state against a snapshot while concurrent
+        ``predict``/``observe`` calls proceed, and only the cheap
+        :meth:`~HybridPredictionModel.commit_update` serialises.  On any
+        failure the claimed fixes are restored to the pending buffer (in
+        order, ahead of fixes observed meanwhile) so a retry flushes them
+        again.
         """
-        with self._lock:
-            if not self._pending:
-                return 0
-            positions = [[p.x, p.y] for p in self._pending]
-            self.model.update(positions)
-            flushed = len(self._pending)
-            self._pending = []
-            return flushed
+        for attempt in range(_FLUSH_CONFLICT_RETRIES + 1):
+            with self._lock:
+                if not self._pending:
+                    return 0
+                batch = self._pending
+                self._pending = []
+                try:
+                    positions = self._contiguous_positions(batch)
+                except Exception:
+                    self._pending = batch
+                    raise
+                refit = self.refit_mode
+                if (
+                    self.full_refit_every is not None
+                    and self._flushes_since_full + 1 >= self.full_refit_every
+                ):
+                    refit = "full"
+            try:
+                staged = self.model.prepare_update(positions, refit=refit)
+            except Exception:
+                with self._lock:
+                    self._pending = batch + self._pending
+                raise
+            with self._lock:
+                try:
+                    self.model.commit_update(staged)
+                except StaleUpdateError:
+                    # A concurrent writer advanced the model between
+                    # prepare and commit; put the fixes back and re-prepare
+                    # against the new state.
+                    self._pending = batch + self._pending
+                    if attempt == _FLUSH_CONFLICT_RETRIES:
+                        raise
+                    continue
+                except Exception:
+                    self._pending = batch + self._pending
+                    raise
+                stats = self.model.last_refit_stats_
+                if stats is not None and stats.mode == "full":
+                    self._flushes_since_full = 0
+                else:
+                    self._flushes_since_full += 1
+                return len(batch)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _contiguous_positions(self, batch: list[TimedPoint]) -> list[list[float]]:
+        """Position rows for ``batch``, enforcing the gap policy.
+
+        The model's history is dense — row ``i`` carries timestamp
+        ``start_time + i`` — so the flushed rows must continue exactly at
+        ``history.end_time + 1``.  Must be called under the lock (reads
+        the model's history head).
+        """
+        history = self.model.history_
+        expected = history.end_time + 1
+        if batch[0].t < expected:
+            raise ValueError(
+                f"fix at t={batch[0].t} overlaps the model history "
+                f"(already covers up to t={history.end_time}); refusing to "
+                "rewrite observed movements"
+            )
+        rows: list[list[float]] = []
+        prev_t = expected - 1
+        last = history.positions[-1]
+        prev_xy = [float(last[0]), float(last[1])]
+        for sample in batch:
+            gap = sample.t - prev_t - 1
+            if gap > 0:
+                if self.gap_policy == "reject":
+                    raise ValueError(
+                        f"gap of {gap} missing fixes before t={sample.t} "
+                        f"(expected t={prev_t + 1}); appending as-is would "
+                        "shift the model's period phase — backfill the gap "
+                        "or use gap_policy='pad'"
+                    )
+                rows.extend([prev_xy] * gap)
+            prev_xy = [sample.x, sample.y]
+            rows.append(prev_xy)
+            prev_t = sample.t
+        return rows
 
     def __repr__(self) -> str:
         return (

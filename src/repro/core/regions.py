@@ -22,7 +22,12 @@ from ..clustering.dbscan import dbscan
 from ..trajectory.point import BoundingBox, Point
 from ..trajectory.trajectory import Trajectory
 
-__all__ = ["FrequentRegion", "RegionSet", "discover_frequent_regions"]
+__all__ = [
+    "FrequentRegion",
+    "RegionSet",
+    "discover_frequent_regions",
+    "cluster_offset_group",
+]
 
 
 @dataclass(frozen=True)
@@ -91,7 +96,13 @@ class RegionSet:
     region's member points.  Per-region KD-trees make this O(log m).
     """
 
-    def __init__(self, regions: Sequence[FrequentRegion], period: int, eps: float):
+    def __init__(
+        self,
+        regions: Sequence[FrequentRegion],
+        period: int,
+        eps: float,
+        kd_trees: Mapping[int, cKDTree] | None = None,
+    ):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         if eps <= 0:
@@ -110,7 +121,18 @@ class RegionSet:
         self._by_offset: dict[int, list[FrequentRegion]] = {}
         for region in self._regions:
             self._by_offset.setdefault(region.offset, []).append(region)
-        self._trees = {region: cKDTree(region.points) for region in self._regions}
+        # ``kd_trees`` lets the delta-refit path carry KD-trees over for
+        # regions reused verbatim from a previous set; it is keyed by
+        # id(region) so a *different* region at the same (offset, index)
+        # can never pick up a stale tree.
+        self._trees = {
+            region: (
+                kd_trees[id(region)]
+                if kd_trees is not None and id(region) in kd_trees
+                else cKDTree(region.points)
+            )
+            for region in self._regions
+        }
         self._locate_cache: OrderedDict = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -144,6 +166,13 @@ class RegionSet:
     def offsets(self) -> list[int]:
         """Sorted offsets that have at least one frequent region."""
         return sorted(self._by_offset)
+
+    def kd_tree(self, region: FrequentRegion) -> cKDTree:
+        """The member KD-tree of ``region`` (for carry-over on delta refit)."""
+        try:
+            return self._trees[region]
+        except KeyError:
+            raise KeyError(f"{region.label} is not part of this region set") from None
 
     # LRU capacity for the locate memo.  Recent windows of live objects
     # revisit the same handful of (coordinate, offset) cells constantly —
@@ -246,41 +275,65 @@ def discover_frequent_regions(
         if count == 0:
             continue
         rows = group_order[group_starts[offset] : group_starts[offset] + count]
-        group_points = positions[rows]
-        group_subs = rows // period
-        result = dbscan(group_points, eps=eps, min_pts=min_pts)
-        if result.num_clusters == 0:
-            continue
-        # All cluster member lists in one stable sort of the labels:
-        # noise (-1) sorts first, then each cluster's members in
-        # ascending group order — the same order members(j) returns.
-        labels = result.labels
-        label_order = np.argsort(labels, kind="stable")
-        member_counts = np.bincount(
-            labels[labels >= 0], minlength=result.num_clusters
+        regions.extend(
+            cluster_offset_group(positions, rows, offset, period, eps, min_pts)
         )
-        member_starts = (count - int(member_counts.sum())) + np.concatenate(
-            ([0], np.cumsum(member_counts)[:-1])
-        )
-        for j in range(result.num_clusters):
-            member_idx = label_order[
-                member_starts[j] : member_starts[j] + member_counts[j]
-            ]
-            points = group_points[member_idx]
-            centroid = points.mean(axis=0)
-            xs = points[:, 0]
-            ys = points[:, 1]
-            regions.append(
-                FrequentRegion(
-                    offset=offset,
-                    index=j,
-                    center=Point(float(centroid[0]), float(centroid[1])),
-                    points=points,
-                    bbox=BoundingBox(
-                        float(xs.min()), float(ys.min()),
-                        float(xs.max()), float(ys.max()),
-                    ),
-                    subtrajectory_ids=tuple(group_subs[member_idx].tolist()),
-                )
-            )
     return RegionSet(regions, period=period, eps=eps)
+
+
+def cluster_offset_group(
+    positions: np.ndarray,
+    rows: np.ndarray,
+    offset: int,
+    period: int,
+    eps: float,
+    min_pts: int,
+) -> list[FrequentRegion]:
+    """Cluster one offset group ``G_t`` into its frequent regions.
+
+    ``rows`` are the trajectory row indices whose offset is ``offset``, in
+    ascending trajectory order (as produced by the stable offset grouping
+    in :func:`discover_frequent_regions`).  The delta-refit path calls
+    this for dirty offsets only; the output is byte-identical to the
+    regions :func:`discover_frequent_regions` would build for the offset.
+    """
+    count = rows.shape[0]
+    group_points = positions[rows]
+    group_subs = rows // period
+    result = dbscan(group_points, eps=eps, min_pts=min_pts)
+    if result.num_clusters == 0:
+        return []
+    # All cluster member lists in one stable sort of the labels:
+    # noise (-1) sorts first, then each cluster's members in
+    # ascending group order — the same order members(j) returns.
+    labels = result.labels
+    label_order = np.argsort(labels, kind="stable")
+    member_counts = np.bincount(
+        labels[labels >= 0], minlength=result.num_clusters
+    )
+    member_starts = (count - int(member_counts.sum())) + np.concatenate(
+        ([0], np.cumsum(member_counts)[:-1])
+    )
+    regions: list[FrequentRegion] = []
+    for j in range(result.num_clusters):
+        member_idx = label_order[
+            member_starts[j] : member_starts[j] + member_counts[j]
+        ]
+        points = group_points[member_idx]
+        centroid = points.mean(axis=0)
+        xs = points[:, 0]
+        ys = points[:, 1]
+        regions.append(
+            FrequentRegion(
+                offset=offset,
+                index=j,
+                center=Point(float(centroid[0]), float(centroid[1])),
+                points=points,
+                bbox=BoundingBox(
+                    float(xs.min()), float(ys.min()),
+                    float(xs.max()), float(ys.max()),
+                ),
+                subtrajectory_ids=tuple(group_subs[member_idx].tolist()),
+            )
+        )
+    return regions

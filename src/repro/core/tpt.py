@@ -91,6 +91,59 @@ class TrajectoryPatternTree(SignatureTree):
         values = self.codec.encode_values(patterns)
         self.bulk_load(list(zip(values, patterns)))
 
+    def rebind_codec(self, codec: KeyCodec) -> None:
+        """Swap in a codec with identical key geometry (delta refit).
+
+        A delta refit that keeps the region universe and consequence-offset
+        table builds a fresh codec over the *new* region set; since region
+        ids and time ids are unchanged, every stored key value stays valid
+        and the tree (including a built consequence index) survives as-is.
+        """
+        if (
+            codec.premise_length != self.codec.premise_length
+            or codec.consequence_length != self.codec.consequence_length
+            or codec.consequence_offsets() != self.codec.consequence_offsets()
+        ):
+            raise ValueError(
+                "rebind_codec requires identical key geometry "
+                f"({self.codec!r} -> {codec!r})"
+            )
+        self.codec = codec
+
+    def rebind_patterns(
+        self,
+        pairs: Sequence[tuple[TrajectoryPattern, TrajectoryPattern]],
+    ) -> int:
+        """Swap entry payloads for re-scored patterns whose key is unchanged.
+
+        A delta refit replaces a pattern when its support/confidence or
+        its member regions' *content* moved while its premise/consequence
+        positions — and hence its encoded pattern key — did not.  Such a
+        replacement needs no structural delete/insert: the stored entry
+        keeps its signature and only the payload pointer advances to the
+        fresh pattern object.  One tree walk services the whole batch.
+        Returns the number of entries rebound (should equal ``len(pairs)``
+        when every old pattern is indexed).
+        """
+        if not pairs:
+            return 0
+        replacement = {id(old): new for old, new in pairs}
+        swapped = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    new = replacement.get(id(entry.payload))
+                    if new is not None:
+                        entry.payload = new
+                        swapped += 1
+            else:
+                stack.extend(node.children)
+        # The consequence index snapshots payload pointers.
+        self._consequence_index = None
+        return swapped
+
     def consequence_index(self) -> dict[int, list]:
         """The consequence-offset inverted index, building it if stale.
 

@@ -101,6 +101,12 @@ class ServeConfig:
     #: server-side default predict deadline; ``None`` disables
     default_deadline_ms: float | None = 10_000.0
     # --- background refits ---
+    #: per-flush refit mode override: "delta" / "full" / None = model default
+    refit_mode: str | None = None
+    #: force a full re-mine every Nth flush per object (None = never force)
+    refit_full_every: int | None = None
+    #: how trackers treat fixes non-contiguous with the history: "reject"/"pad"
+    gap_policy: str = "reject"
     #: refits running concurrently
     refit_concurrency: int = 2
     #: failed attempts before an object dead-letters
@@ -435,6 +441,9 @@ class PredictionService:
                 self.fleet[object_id],
                 update_after=self.config.update_after,
                 lock=self.fleet.object_lock(object_id),
+                gap_policy=self.config.gap_policy,
+                refit_mode=self.config.refit_mode,
+                full_refit_every=self.config.refit_full_every,
             )
             self.trackers[object_id] = tracker
         for t, x, y in fixes:
@@ -466,6 +475,14 @@ class PredictionService:
             None, tracker.flush_updates
         )
         self.metrics.counter("serve_refit_fixes_total").inc(flushed)
+        stats = tracker.model.last_refit_stats_
+        if flushed and stats is not None:
+            self.metrics.counter(f"serve_refit_mode_total_{stats.mode}").inc()
+            self.metrics.counter(f"serve_refit_index_total_{stats.index}").inc()
+            if stats.fallback is not None:
+                self.metrics.counter(
+                    f"serve_refit_fallback_total_{stats.fallback}"
+                ).inc()
         # The refreshed corpus may answer differently.
         self.cache.invalidate(object_id)
 

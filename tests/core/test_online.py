@@ -1,5 +1,7 @@
 """Tests for the streaming OnlineTracker."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -117,3 +119,127 @@ class TestUpdates:
         tracker = OnlineTracker(model)
         tracker.observe(240, *base[0])
         assert "pending=1" in repr(tracker)
+
+
+@pytest.fixture()
+def fresh_world():
+    """Function-scoped copy of ``world`` for tests that mutate the model."""
+    rng = np.random.default_rng(0)
+    period = 12
+    base = np.column_stack(
+        [70.0 * np.arange(period), 20.0 * np.arange(period)]
+    )
+    blocks = [base + rng.normal(0, 0.6, base.shape) for _ in range(20)]
+    cfg = HPMConfig(
+        period=period, eps=5.0, min_pts=4, distant_threshold=5, recent_window=4
+    )
+    return HybridPredictionModel(cfg).fit(Trajectory(np.vstack(blocks))), base
+
+
+class TestGapPolicy:
+    def test_gap_rejected_and_pending_restored(self, fresh_world):
+        model, base = fresh_world
+        tracker = OnlineTracker(model)
+        t0 = len(model.history_)
+        tracker.observe(t0, *base[0])
+        tracker.observe(t0 + 3, *base[3])  # two fixes went missing
+        with pytest.raises(ValueError, match="gap of 2"):
+            tracker.flush_updates()
+        # The claimed fixes went back to the buffer and nothing reached
+        # the model — the caller can backfill and retry.
+        assert tracker.pending_count == 2
+        assert len(model.history_) == t0
+
+    def test_gap_padded_with_last_position(self, fresh_world):
+        model, base = fresh_world
+        tracker = OnlineTracker(model, gap_policy="pad")
+        t0 = len(model.history_)
+        tracker.observe(t0, *base[0])
+        tracker.observe(t0 + 3, *base[3])
+        flushed = tracker.flush_updates()
+        assert flushed == 2  # synthesised pad rows are not counted
+        assert len(model.history_) == t0 + 4  # 2 fixes + 2 pad rows
+        positions = model.history_.positions
+        # pads repeat the last known position, preserving period phase
+        assert np.allclose(positions[t0 + 1], positions[t0])
+        assert np.allclose(positions[t0 + 2], positions[t0])
+
+    def test_overlap_rejected(self, fresh_world):
+        model, base = fresh_world
+        tracker = OnlineTracker(model)
+        tracker.observe(len(model.history_) - 1, *base[0])
+        with pytest.raises(ValueError, match="overlaps"):
+            tracker.flush_updates()
+        assert tracker.pending_count == 1
+
+    def test_gap_policy_validation(self, fresh_world):
+        model, _ = fresh_world
+        with pytest.raises(ValueError, match="gap_policy"):
+            OnlineTracker(model, gap_policy="interpolate")
+
+
+class TestFlushConcurrency:
+    def test_queries_proceed_while_prepare_runs(self, fresh_world, monkeypatch):
+        """The heavy refresh must not hold the tracker lock: a predict
+        issued while ``prepare_update`` is still crunching completes
+        immediately instead of queueing behind the flush."""
+        model, base = fresh_world
+        tracker = OnlineTracker(model)
+        t0 = len(model.history_)
+        for t in range(12):
+            tracker.observe(t0 + t, *base[t])
+
+        entered = threading.Event()
+        release = threading.Event()
+        original = model.prepare_update
+
+        def slow_prepare(positions, refit=None):
+            entered.set()
+            assert release.wait(timeout=10.0), "flush was never released"
+            return original(positions, refit=refit)
+
+        monkeypatch.setattr(model, "prepare_update", slow_prepare)
+        flusher = threading.Thread(target=tracker.flush_updates)
+        flusher.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            # prepare is blocked mid-refresh; the lock must be free.
+            predictions = tracker.predict(tracker.current_time + 2, k=1)
+            assert predictions
+            tracker.observe(t0 + 12, *base[0])
+        finally:
+            release.set()
+            flusher.join(timeout=10.0)
+        assert not flusher.is_alive()
+        assert len(model.history_) == t0 + 12
+        assert tracker.pending_count == 1  # the fix observed mid-flush
+
+    def test_flush_retries_after_concurrent_writer(self, fresh_world, monkeypatch):
+        """A writer landing between prepare and commit makes the staged
+        state stale; flush must restore the batch and re-prepare against
+        the advanced history instead of committing a torn update."""
+        model, base = fresh_world
+        t0 = len(model.history_)
+        tracker = OnlineTracker(model, gap_policy="pad")
+        for t in range(12):
+            tracker.observe(t0 + 5 + t, *base[(5 + t) % 12])
+
+        original = model.prepare_update
+        fired = {"done": False}
+
+        def racing_prepare(positions, refit=None):
+            staged = original(positions, refit=refit)
+            if not fired["done"]:
+                fired["done"] = True
+                # Concurrent writer fills t0..t0+4 directly on the model.
+                model.update(base[:5], refit="delta")
+            return staged
+
+        monkeypatch.setattr(model, "prepare_update", racing_prepare)
+        flushed = tracker.flush_updates()
+        assert fired["done"]
+        assert flushed == 12
+        # 5 rows from the concurrent writer + 12 flushed fixes, no pads
+        # on the retry (the writer closed the gap).
+        assert len(model.history_) == t0 + 17
+        assert tracker.pending_count == 0
