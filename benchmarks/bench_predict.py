@@ -18,13 +18,23 @@ Two modes are measured:
 * **trajectory-sweep** — ``predict_trajectory`` over a horizon crossing
   the distant-time threshold (the ``/predict_trajectory`` and eval paths).
 
+``--backend kernel`` instead holds PR 9's vectorized score kernel to the
+same contract: a scan-backend model (the PR 4 prepared-plan path, kept as
+the oracle) and a kernel-backend clone sharing the identical fitted state
+answer the same workloads; fingerprints are verified on an untimed pass
+*before* any timing is reported.  Three modes are measured: single-query,
+trajectory-sweep, and a 40-object ``Fleet.predict_all`` with cross-object
+batching.
+
 Run standalone (not under pytest)::
 
-    PYTHONPATH=src python benchmarks/bench_predict.py           # full
-    PYTHONPATH=src python benchmarks/bench_predict.py --smoke   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_predict.py                    # PR 4 A/B
+    PYTHONPATH=src python benchmarks/bench_predict.py --backend kernel   # PR 9 A/B
+    PYTHONPATH=src python benchmarks/bench_predict.py --smoke            # CI-sized
 
-Writes ``BENCH_predict.json``: p50/p95 latency, qps and speedup per mode,
-plus the fingerprints.  Exits 1 if the engines disagree on any byte.
+Writes ``BENCH_predict.json`` (legacy) or ``BENCH_predict_kernel.json``
+(kernel): p50/p95 latency, qps and speedup per mode, plus the
+fingerprints.  Exits 1 if the engines disagree on any byte.
 """
 
 from __future__ import annotations
@@ -239,7 +249,9 @@ class LegacyPredictor:
 # ----------------------------------------------------------------------
 # workloads
 # ----------------------------------------------------------------------
-def build_model(subtrajectories: int, period: int) -> HybridPredictionModel:
+def build_model(
+    subtrajectories: int, period: int, query_backend: str = "kernel"
+) -> HybridPredictionModel:
     dataset = make_dataset("bike", subtrajectories, period, seed=0)
     config = HPMConfig(
         period=period,
@@ -248,10 +260,30 @@ def build_model(subtrajectories: int, period: int) -> HybridPredictionModel:
         min_confidence=0.3,
         distant_threshold=max(2, period // 5),
         recent_window=4,
+        query_backend=query_backend,
     )
     model = HybridPredictionModel(config).fit(dataset.trajectory)
     assert model.predictor_ is not None, "dataset produced no patterns"
     return model
+
+
+def clone_with_config(
+    model: HybridPredictionModel, **overrides
+) -> HybridPredictionModel:
+    """A model sharing ``model``'s fitted state under a tweaked config.
+
+    Mining is backend-independent, so a shared-state clone makes the
+    backend A/B exact by construction: any divergence is the query path's.
+    """
+    clone = HybridPredictionModel(model.config.with_overrides(**overrides))
+    clone._history = model._history
+    clone._regions = model._regions
+    clone._patterns = model._patterns
+    clone._mining_stats = model._mining_stats
+    clone._codec = model._codec
+    clone._tree = model._tree
+    clone._refresh_predictor()
+    return clone
 
 
 def build_windows(
@@ -275,6 +307,48 @@ def build_windows(
             ]
         )
     return windows
+
+
+def build_fleet_windows(
+    model: HybridPredictionModel, count: int
+) -> dict[str, list[TimedPoint]]:
+    """Per-object recent windows sharing one current time ``tc``.
+
+    ``predict_all`` answers every object at a single query time, so all
+    windows must end together; each object rides a different same-phase
+    slice of the training history (timestamps stay offset-aligned because
+    the history length is a multiple of the period).
+    """
+    positions = model.history_.positions
+    period = model.config.period
+    width = model.config.recent_window
+    t0 = len(positions)  # offset 0, like the history's first row
+    slices = (len(positions) - width) // period
+    windows: dict[str, list[TimedPoint]] = {}
+    for w in range(count):
+        start = (w % slices) * period
+        windows[f"obj{w:03d}"] = [
+            TimedPoint(t0 + j, float(x), float(y))
+            for j, (x, y) in enumerate(positions[start : start + width])
+        ]
+    return windows
+
+
+def run_predict_all(fleet, recents, horizons, repeats: int):
+    """Time ``predict_all`` over a horizon mix; fingerprint the first pass."""
+    tc = next(iter(recents.values()))[-1].t
+    latencies: list[float] = []
+    chunks = []
+    start = time.perf_counter()
+    for r in range(repeats):
+        for h in horizons:
+            t1 = time.perf_counter()
+            result = fleet.predict_all(recents, tc + h)
+            latencies.append(time.perf_counter() - t1)
+            if r == 0:
+                chunks.append(sorted(result.items()))
+    elapsed = time.perf_counter() - start
+    return latencies, elapsed, fingerprint(chunks)
 
 
 def single_query_workload(
@@ -346,21 +420,47 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-len", type=int, default=120)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--backend",
+        choices=("legacy", "kernel"),
+        default="legacy",
+        help="legacy: PR 4 prepared-plan A/B; kernel: PR 9 score-kernel A/B",
+    )
+    parser.add_argument(
+        "--objects",
+        type=int,
+        default=40,
+        help="fleet size for the predict_all A/B (kernel backend only)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI-sized run: small corpus, few windows, one repeat",
     )
-    parser.add_argument("--output", default="BENCH_predict.json")
+    parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
     if args.smoke:
         args.subtrajectories, args.period = 10, 24
         args.windows, args.sweep_len, args.repeats = 6, 30, 1
+        args.objects = 8
+    if args.output is None:
+        args.output = (
+            "BENCH_predict_kernel.json"
+            if args.backend == "kernel"
+            else "BENCH_predict.json"
+        )
+    if args.backend == "kernel":
+        return run_kernel_bench(args)
+    return run_legacy_bench(args)
 
+
+def run_legacy_bench(args) -> int:
     print(
         f"fitting model ({args.subtrajectories} sub-trajectories x "
         f"T={args.period}) ..."
     )
-    model = build_model(args.subtrajectories, args.period)
+    # The PR 4 A/B measures the prepared *scan* path against the pre-PR-4
+    # algorithm, unchanged by the kernel's arrival.
+    model = build_model(args.subtrajectories, args.period, query_backend="scan")
     legacy = LegacyPredictor(model)
     windows = build_windows(model, args.windows)
     workload = single_query_workload(model, windows)
@@ -432,6 +532,152 @@ def main(argv=None) -> int:
     if not identical:
         print("FAIL: prepared path diverged from the legacy path", file=sys.stderr)
         return 1
+    return 0
+
+
+def run_kernel_bench(args) -> int:
+    from repro.core.fleet import FleetPredictionModel
+
+    print(
+        f"fitting model ({args.subtrajectories} sub-trajectories x "
+        f"T={args.period}) ..."
+    )
+    scan_model = build_model(args.subtrajectories, args.period, query_backend="scan")
+    kernel_model = clone_with_config(scan_model, query_backend="kernel")
+    windows = build_windows(scan_model, args.windows)
+    workload = single_query_workload(scan_model, windows)
+    fleet_windows = build_fleet_windows(scan_model, args.objects)
+    d = scan_model.config.distant_threshold
+    fleet_horizons = (1, 2, max(1, d - 1), d + 3)
+
+    scan_fleet = FleetPredictionModel(scan_model.config)
+    kernel_fleet = FleetPredictionModel(kernel_model.config)
+    for object_id in fleet_windows:
+        scan_fleet.adopt_object(object_id, scan_model)
+        kernel_fleet.adopt_object(object_id, kernel_model)
+
+    # Verification pass first — untimed, so a mismatch can never hide
+    # behind a speedup headline.
+    print("verifying kernel == scan fingerprints (untimed) ...")
+    checks = {}
+    _, _, scan_fp = run_single(scan_model.predict, workload, 1)
+    _, _, kernel_fp = run_single(kernel_model.predict, workload, 1)
+    checks["single_query"] = (scan_fp, kernel_fp)
+    _, _, scan_fp = run_sweeps(
+        scan_model.predict_trajectory, windows, args.sweep_len, 1
+    )
+    _, _, kernel_fp = run_sweeps(
+        kernel_model.predict_trajectory, windows, args.sweep_len, 1
+    )
+    checks["trajectory_sweep"] = (scan_fp, kernel_fp)
+    _, _, scan_fp = run_predict_all(scan_fleet, fleet_windows, fleet_horizons, 1)
+    _, _, kernel_fp = run_predict_all(
+        kernel_fleet, fleet_windows, fleet_horizons, 1
+    )
+    checks["predict_all"] = (scan_fp, kernel_fp)
+    for mode, (want, got) in checks.items():
+        if want != got:
+            print(
+                f"FAIL: kernel diverged from scan on {mode} "
+                f"({got} != {want})",
+                file=sys.stderr,
+            )
+            return 1
+    print("  all modes byte-identical")
+
+    def ab(mode, scan_run, kernel_run, queries):
+        scan_lat, scan_s, _ = scan_run()
+        kernel_lat, kernel_s, fp = kernel_run()
+        result = {
+            "scan": summarize(scan_lat, scan_s, queries),
+            "kernel": summarize(kernel_lat, kernel_s, queries),
+            "speedup": round(scan_s / kernel_s, 2) if kernel_s else 0.0,
+            "identical_predictions": True,
+            "fingerprint": fp,
+        }
+        print(
+            f"  scan {scan_s:.2f}s vs kernel {kernel_s:.2f}s "
+            f"-> {result['speedup']}x"
+        )
+        return result
+
+    print(
+        f"single-query A/B: {len(workload)} queries x {args.repeats} repeats ..."
+    )
+    queries = len(workload) * args.repeats
+    single = {
+        "queries": queries,
+        "k": SINGLE_K,
+        **ab(
+            "single_query",
+            lambda: run_single(scan_model.predict, workload, args.repeats),
+            lambda: run_single(kernel_model.predict, workload, args.repeats),
+            queries,
+        ),
+    }
+
+    print(
+        f"trajectory-sweep A/B: {len(windows)} sweeps of {args.sweep_len} steps "
+        f"x {args.repeats} repeats ..."
+    )
+    sweeps = len(windows) * args.repeats
+    sweep = {
+        "sweeps": sweeps,
+        "steps_per_sweep": args.sweep_len,
+        **ab(
+            "trajectory_sweep",
+            lambda: run_sweeps(
+                scan_model.predict_trajectory, windows, args.sweep_len, args.repeats
+            ),
+            lambda: run_sweeps(
+                kernel_model.predict_trajectory,
+                windows,
+                args.sweep_len,
+                args.repeats,
+            ),
+            sweeps * args.sweep_len,
+        ),
+    }
+
+    print(
+        f"predict_all A/B: {len(fleet_windows)} objects x "
+        f"{len(fleet_horizons)} horizons x {args.repeats} repeats ..."
+    )
+    calls = len(fleet_horizons) * args.repeats
+    predict_all = {
+        "objects": len(fleet_windows),
+        "horizons": list(fleet_horizons),
+        **ab(
+            "predict_all",
+            lambda: run_predict_all(
+                scan_fleet, fleet_windows, fleet_horizons, args.repeats
+            ),
+            lambda: run_predict_all(
+                kernel_fleet, fleet_windows, fleet_horizons, args.repeats
+            ),
+            calls * len(fleet_windows),
+        ),
+    }
+
+    report = {
+        "benchmark": "predict_kernel",
+        "smoke": args.smoke,
+        "python": sys.version.split()[0],
+        "subtrajectories": args.subtrajectories,
+        "period": args.period,
+        "distant_threshold": d,
+        "num_patterns": len(scan_model.patterns_),
+        "windows": len(windows),
+        "single_query": single,
+        "trajectory_sweep": sweep,
+        "predict_all": predict_all,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"single {single['speedup']}x, sweep {sweep['speedup']}x, "
+        f"predict_all {predict_all['speedup']}x; byte-identical: True; "
+        f"wrote {args.output}"
+    )
     return 0
 
 

@@ -53,6 +53,7 @@ from .config import HPMConfig
 from .model import HybridPredictionModel
 from .parallel import run_keyed_tasks
 from .prediction import Prediction, default_motion_factory
+from .scorekernel import prime_plan_queries
 from .refit import StaleUpdateError
 
 __all__ = ["FleetFitError", "FleetPredictionModel"]
@@ -434,6 +435,13 @@ class FleetPredictionModel:
         throughput for large fleets at the price of shipping the models,
         and model-level metrics are not incremented by the worker-side
         copies.  Results are identical to serial scoring in every mode.
+
+        On the kernel query backend the serial path batches all objects'
+        FQP lookups into one kernel invocation (see
+        :mod:`repro.core.scorekernel`): plans are built per object under
+        that object's lock, scored together against immutable pack
+        snapshots, then answered under the locks again — same answers,
+        one array pass instead of ``n`` scoring loops.
         """
         items = list(recents.items())
         serial = (
@@ -443,6 +451,8 @@ class FleetPredictionModel:
             or len(items) <= 1
         )
         if serial:
+            if len(items) > 1 and self.config.query_backend == "kernel":
+                return self._predict_all_batched(items, query_time)
             out: dict[str, Prediction] = {}
             for object_id, recent in items:
                 with self.object_lock(object_id):
@@ -484,6 +494,36 @@ class FleetPredictionModel:
                 if object_id in failures:
                     raise failures[object_id]
         return results
+
+    def _predict_all_batched(
+        self, items: list, query_time: int
+    ) -> dict[str, Prediction]:
+        """Serial ``predict_all`` with cross-object kernel batching.
+
+        Three phases: (1) build each object's prepared plan under its
+        lock (the plan snapshots the tree's packed kernel arrays there);
+        (2) prime every plan's FQP entry in one stacked kernel invocation
+        outside the locks — the packs are immutable snapshots, so a
+        concurrent refit cannot be scored mid-patch; (3) answer each
+        query under the object's lock again, hitting the primed memo.
+        Answers (and model-level metrics) match the per-object loop;
+        plan-build errors surface in input order, as the serial loop's
+        would.
+        """
+        prepared = []
+        for object_id, recent in items:
+            with self.object_lock(object_id):
+                model = self[object_id]
+                prepared.append((object_id, model, model.prepare(list(recent))))
+        prime_plan_queries(
+            ((plan, query_time) for _oid, _model, plan in prepared),
+            metrics=self._metrics,
+        )
+        out: dict[str, Prediction] = {}
+        for object_id, model, plan in prepared:
+            with self.object_lock(object_id):
+                out[object_id] = model.predict_prepared(plan, query_time, k=1)[0]
+        return out
 
     # ------------------------------------------------------------------
     # introspection

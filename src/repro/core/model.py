@@ -95,6 +95,8 @@ class HybridPredictionModel:
         is the in-tree implementation).  Pass ``None`` to detach.
         """
         self._metrics = registry
+        if self._predictor is not None:
+            self._predictor.metrics = registry
 
     def __getstate__(self) -> dict:
         # Registries hold threading locks and are process-local; a model
@@ -486,6 +488,7 @@ class HybridPredictionModel:
             tree=self._tree,
             config=self.config,
             motion_factory=self.motion_factory,
+            metrics=self._metrics,
         )
 
     # ------------------------------------------------------------------
@@ -624,6 +627,7 @@ class HybridPredictionModel:
             raise ValueError(f"empty range [{t_from}, {t_to}]")
         self._require_fitted()
         plan = self.prepare(recent)
+        plan.prime_sweep(t_from, t_to, step)
         if self._predictor is not None:
             return [
                 (t, self.predict_prepared(plan, t, k=1)[0])
@@ -633,6 +637,35 @@ class HybridPredictionModel:
             (t, self.predict_prepared(plan, t)[0])
             for t in range(t_from, t_to + 1, step)
         ]
+
+    def prewarm_locate_cache(self, limit: int = 512) -> int:
+        """Prime the region-locate memo from the history tail.
+
+        ``RegionSet.locate``'s LRU is dropped on pickle, so a model
+        restored from a snapshot starts cold and its first queries pay
+        per-region KD-tree probes.  Query windows are cut from the tail of
+        the same history this model was fitted (or last updated) on, so
+        replaying the last ``limit`` samples — row ``i`` carries offset
+        ``(start_time + i) mod T`` — re-creates exactly the cache keys
+        those windows will look up.  Returns the number of probes issued;
+        0 when the model has no regions.
+        """
+        self._require_fitted()
+        regions = self._regions
+        history = self._history
+        if regions is None or history is None or len(regions) == 0:
+            return 0
+        positions = history.positions
+        count = min(limit, positions.shape[0])
+        if count <= 0:
+            return 0
+        start = positions.shape[0] - count
+        start_time = history.start_time
+        period = self.config.period
+        return regions.prewarm_locate(
+            (positions[i, 0], positions[i, 1], (start_time + i) % period)
+            for i in range(start, positions.shape[0])
+        )
 
     # ------------------------------------------------------------------
     # introspection

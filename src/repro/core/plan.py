@@ -23,21 +23,40 @@ floats are accumulated in the same order (see
 documented equivalent to ``sorted(...)[:k]`` (stable for equal keys), and
 the fallback chain degrades exactly like the original
 ``_motion_prediction`` (primary function, then linear, then stationary).
+
+Candidate scoring itself runs on one of two backends
+(``HPMConfig.query_backend``): the packed numpy kernel
+(:mod:`repro.core.scorekernel`, default) or the per-candidate ``"scan"``
+loop kept as the oracle.  The kernel reproduces the scan path's floats
+bit for bit (see the scorekernel module docstring); a plan silently
+demotes itself to the scan backend when the kernel is unavailable or
+raises, counting the demotion in ``kernel_fallbacks`` and the
+``predict_kernel_fallback_total`` metric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import nsmallest
-from typing import Sequence
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..motion.base import MotionFunction, MotionFunctionFactory
 from ..motion.linear import LinearMotionFunction
+from ..signature.bitset import iter_set_bits
 from ..trajectory.point import Point, TimedPoint
 from .config import HPMConfig
 from .keys import KeyCodec
 from .patterns import TrajectoryPattern
 from .regions import FrequentRegion, RegionSet
+from .scorekernel import (
+    KernelHits,
+    finalize_forward,
+    premise_scores,
+    prime_plan_queries,
+    window_speed,
+)
 from .similarity import PremiseScorer
 from .tpt import TrajectoryPatternTree
 
@@ -110,6 +129,7 @@ class PreparedQuery:
         recent: Sequence[TimedPoint],
         stats: dict | None = None,
         scorer: PremiseScorer | None = None,
+        metrics=None,
     ):
         recent = list(recent)
         if not recent:
@@ -136,11 +156,37 @@ class PreparedQuery:
         else:
             self.recent_regions = []
             self.premise_key = 0
-        # offset -> scored candidate list (or None when no candidate) —
-        # FQP work is per-offset, so a sweep computes each at most once.
-        self._fqp_scored: dict[int, list[tuple[float, TrajectoryPattern]] | None] = {}
+        # offset -> scan scored-candidate list, kernel KernelHits, or None
+        # when no candidate — FQP work is per-offset, so a sweep computes
+        # each at most once.  Explicitly bounded to ``period`` entries
+        # (offsets live in [0, T), but a hostile query stream must not be
+        # able to grow a plan without bound either way).
+        self._fqp_scored: dict[int, object] = {}
         self._motion_primary: MotionFunction | None | object = _UNSET
         self._motion_linear: MotionFunction | None | object = _UNSET
+        self._metrics = metrics
+        self.kernel_fallbacks = 0
+        self._backend = "scan"
+        self._kernel = None
+        self._qvec: np.ndarray | None = None
+        self._velocity_cap: float | None = None
+        if tree is not None and config.query_backend == "kernel":
+            kernel = tree.score_kernel(self._scorer.kind)
+            if kernel is None or kernel.premise_length != codec.premise_length:
+                self._count_fallback()
+            else:
+                self._backend = "kernel"
+                self._kernel = kernel
+                qvec = np.zeros(codec.premise_length, dtype=np.float64)
+                for bit in iter_set_bits(self.premise_key):
+                    qvec[bit] = 1.0
+                self._qvec = qvec
+                if config.velocity_filter:
+                    self._velocity_cap = kernel.velocity_cap(
+                        window_speed(self._window),
+                        config.velocity_slack,
+                        config.velocity_bands,
+                    )
 
     # ------------------------------------------------------------------
     # public API (mirrors HybridPredictor's validation order exactly)
@@ -173,6 +219,7 @@ class PreparedQuery:
             raise ValueError(f"step must be >= 1, got {step}")
         if t_to < t_from:
             raise ValueError(f"empty range [{t_from}, {t_to}]")
+        self.prime_sweep(t_from, t_to, step)
         return [
             (t, self.predict(t, k=1)[0]) for t in range(t_from, t_to + 1, step)
         ]
@@ -183,10 +230,14 @@ class PreparedQuery:
     def forward(self, query_time: int, k: int) -> list[Prediction]:
         """FQP from the prepared premise key (no validation, like the old
         ``forward_query``)."""
-        scored = self._forward_scored(query_time % self.config.period)
-        if scored is None:
+        entry = self._forward_entry(query_time % self.config.period)
+        if entry is None:
             return [self.motion_prediction(query_time)]
         self.stats["fqp"] += 1
+        if isinstance(entry, KernelHits):
+            top = entry.top(k)
+        else:
+            top = nsmallest(k, entry, key=_rank_key)
         return [
             Prediction(
                 location=pattern.consequence.center,
@@ -194,30 +245,111 @@ class PreparedQuery:
                 score=score,
                 pattern=pattern,
             )
-            for score, pattern in nsmallest(k, scored, key=_rank_key)
+            for score, pattern in top
         ]
 
-    def _forward_scored(
-        self, offset: int
-    ) -> list[tuple[float, TrajectoryPattern]] | None:
+    def _forward_entry(self, offset: int):
+        """Memoised per-offset FQP scoring on the active backend.
+
+        Entries are scan scored-candidate lists or kernel
+        :class:`KernelHits`; the memo holds both shapes so a mid-plan
+        demotion keeps earlier kernel entries valid (their floats are
+        bit-identical anyway)."""
         try:
             return self._fqp_scored[offset]
         except KeyError:
             pass
+        if self._backend == "kernel":
+            try:
+                entry = self._forward_kernel(offset)
+            except Exception:
+                self._demote_kernel()
+                entry = self._forward_scan(offset)
+        else:
+            entry = self._forward_scan(offset)
+        self._store_forward(offset, entry)
+        return entry
+
+    def _forward_scan(
+        self, offset: int
+    ) -> list[tuple[float, TrajectoryPattern]] | None:
         query_key = self._codec.encode_query(self.recent_regions, offset)
         candidates = self._tree.search_candidates(query_key)
-        scored: list[tuple[float, TrajectoryPattern]] | None = None
-        if candidates:
-            rkq = self.premise_key
-            score = self._scorer.score
-            # Eq. 2 inline: S_p = S_r * c (same operands, same order as
-            # fqp_score on already-validated unit values).
-            scored = [
-                (score(key.premise_key, rkq) * pattern.confidence, pattern)
-                for pattern, key in candidates
-            ]
-        self._fqp_scored[offset] = scored
-        return scored
+        if not candidates:
+            return None
+        rkq = self.premise_key
+        score = self._scorer.score
+        # Eq. 2 inline: S_p = S_r * c (same operands, same order as
+        # fqp_score on already-validated unit values).
+        return [
+            (score(key.premise_key, rkq) * pattern.confidence, pattern)
+            for pattern, key in candidates
+        ]
+
+    def _forward_kernel(self, offset: int) -> KernelHits | None:
+        # Empty premise or unknown offset: search_candidates would return
+        # nothing (Intersect needs common '1's on both parts).
+        if self.premise_key == 0:
+            return None
+        pack = self._kernel.block_for_offset(offset)
+        if pack is None:
+            return None
+        return finalize_forward(
+            pack, premise_scores(pack, self._qvec), self._velocity_cap
+        )
+
+    def _store_forward(self, offset: int, entry) -> None:
+        memo = self._fqp_scored
+        if offset not in memo and len(memo) >= self.config.period:
+            memo.pop(next(iter(memo)))
+        memo[offset] = entry
+
+    def _demote_kernel(self) -> None:
+        """Fall back to the scan backend for the rest of this plan's life."""
+        self._backend = "scan"
+        self._kernel = None
+        self._count_fallback()
+
+    def _count_fallback(self) -> None:
+        self.kernel_fallbacks += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "predict_kernel_fallback_total",
+                help="Prepared plans demoted from the kernel to the scan backend",
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # cross-query batching hooks (see scorekernel.prime_plan_queries)
+    # ------------------------------------------------------------------
+    def fqp_prime_offset(self, query_time: int) -> int | None:
+        """The offset to pre-score for ``query_time``, or ``None`` when the
+        query would not take the kernel FQP path (wrong backend, BQP
+        horizon, empty premise, or already memoised)."""
+        if self._backend != "kernel" or self._tree is None:
+            return None
+        tc = self.current_time
+        if not tc < query_time < tc + self.config.distant_threshold:
+            return None
+        if self.premise_key == 0:
+            return None
+        offset = query_time % self.config.period
+        return None if offset in self._fqp_scored else offset
+
+    def prime_sweep(self, t_from: int, t_to: int, step: int = 1) -> int:
+        """Pre-score every FQP offset a trajectory sweep will visit in one
+        kernel invocation.  A no-op on the scan backend."""
+        if self._backend != "kernel":
+            return 0
+        tc = self.current_time
+        lo = max(t_from, tc + 1)
+        hi = min(t_to, tc + self.config.distant_threshold - 1)
+        if lo > t_from:
+            lo = t_from + -(-(lo - t_from) // step) * step
+        if hi < lo:
+            return 0
+        return prime_plan_queries(
+            ((self, t) for t in range(lo, hi + 1, step)), metrics=self._metrics
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 3: Backward Query Processing
@@ -228,9 +360,37 @@ class PreparedQuery:
         The consequence mask grows monotonically with the interval, so each
         enlargement round only encodes the two *new* edge sub-ranges; once
         the interval covers a full period the mask saturates.  Candidate
-        retrieval probes the tree's consequence-offset index instead of a
-        fresh descent per round.
+        retrieval probes the tree's consequence-offset index (scan) or the
+        kernel's merged bucket view instead of a fresh descent per round;
+        both backends share the enlargement generator so their round
+        structure cannot diverge.
         """
+        for relaxation, mask in self._bqp_enlargements(query_time):
+            if self._backend == "kernel":
+                try:
+                    top = self._backward_kernel(mask, relaxation, query_time, k)
+                except Exception:
+                    self._demote_kernel()
+                    top = self._backward_scan(mask, relaxation, query_time, k)
+            else:
+                top = self._backward_scan(mask, relaxation, query_time, k)
+            if top is not None:
+                self.stats["bqp"] += 1
+                return [
+                    Prediction(
+                        location=pattern.consequence.center,
+                        method="bqp",
+                        score=score_,
+                        pattern=pattern,
+                    )
+                    for score_, pattern in top
+                ]
+        return [self.motion_prediction(query_time)]
+
+    def _bqp_enlargements(self, query_time: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(relaxation, consequence_mask)`` per enlargement round,
+        stopping when the interval's lower edge reaches the current time
+        (Algorithm 3's loop structure, verbatim)."""
         cfg = self.config
         codec = self._codec
         tc = self.current_time
@@ -260,36 +420,72 @@ class PreparedQuery:
                         t % period for t in range(hi + 1, new_hi + 1)
                     )
             lo, hi = new_lo, new_hi
-            candidates = self._tree.search_by_consequence(mask) if mask else []
-            if candidates:
-                self.stats["bqp"] += 1
-                horizon = query_time - tc
-                # Eq. 5 inline: S_p = (S_r * min(1, d/(tq-tc)) + S_c) * c,
-                # with S_c per Eq. 3 — identical operand order to
-                # bqp_score/consequence_similarity.
-                penalty = min(1.0, cfg.distant_threshold / horizon)
-                denominator = relaxation + 1
-                query_offset = query_time % period
-                rkq = self.premise_key
-                score = self._scorer.score
-                scored = []
-                for pattern, key in candidates:
-                    sr = score(key.premise_key, rkq)
-                    diff = abs(pattern.consequence_offset - query_offset) % period
-                    sc = max(0.0, 1.0 - min(diff, period - diff) / denominator)
-                    scored.append(((sr * penalty + sc) * pattern.confidence, pattern))
-                return [
-                    Prediction(
-                        location=pattern.consequence.center,
-                        method="bqp",
-                        score=score_,
-                        pattern=pattern,
-                    )
-                    for score_, pattern in nsmallest(k, scored, key=_rank_key)
-                ]
+            yield relaxation, mask
             i += 1
             if query_time - i * t_eps <= tc:
-                return [self.motion_prediction(query_time)]
+                return
+
+    def _backward_scan(
+        self, mask: int, relaxation: int, query_time: int, k: int
+    ) -> list[tuple[float, TrajectoryPattern]] | None:
+        candidates = self._tree.search_by_consequence(mask) if mask else []
+        if not candidates:
+            return None
+        cfg = self.config
+        period = cfg.period
+        horizon = query_time - self.current_time
+        # Eq. 5 inline: S_p = (S_r * min(1, d/(tq-tc)) + S_c) * c,
+        # with S_c per Eq. 3 — identical operand order to
+        # bqp_score/consequence_similarity.
+        penalty = min(1.0, cfg.distant_threshold / horizon)
+        denominator = relaxation + 1
+        query_offset = query_time % period
+        rkq = self.premise_key
+        score = self._scorer.score
+        scored = []
+        for pattern, key in candidates:
+            sr = score(key.premise_key, rkq)
+            diff = abs(pattern.consequence_offset - query_offset) % period
+            sc = max(0.0, 1.0 - min(diff, period - diff) / denominator)
+            scored.append(((sr * penalty + sc) * pattern.confidence, pattern))
+        return nsmallest(k, scored, key=_rank_key)
+
+    def _backward_kernel(
+        self, mask: int, relaxation: int, query_time: int, k: int
+    ) -> list[tuple[float, TrajectoryPattern]] | None:
+        """Vectorized Eq. 5 over the merged bucket view — the same
+        elementwise operations in the same order as the scan loop, so each
+        candidate's score is bit-identical."""
+        pack = self._kernel.merged(mask) if mask else None
+        if pack is None:
+            return None
+        cap = self._velocity_cap
+        rows = None
+        if cap is not None:
+            rows = np.flatnonzero(pack.velocity_rows(cap))
+            if rows.size == 0:
+                return None
+            if rows.size == pack.n:
+                rows = None
+        sr = premise_scores(pack, self._qvec)
+        confidences = pack.confidences
+        supports = pack.supports
+        cons_offsets = pack.cons_offsets
+        if rows is not None:
+            sr = sr[rows]
+            confidences = confidences[rows]
+            supports = supports[rows]
+            cons_offsets = cons_offsets[rows]
+        cfg = self.config
+        period = cfg.period
+        horizon = query_time - self.current_time
+        penalty = min(1.0, cfg.distant_threshold / horizon)
+        denominator = relaxation + 1
+        query_offset = query_time % period
+        diff = np.abs(cons_offsets - query_offset) % period
+        sc = np.maximum(0.0, 1.0 - np.minimum(diff, period - diff) / denominator)
+        scores = (sr * penalty + sc) * confidences
+        return KernelHits(scores, confidences, supports, rows, pack).top(k)
 
     # ------------------------------------------------------------------
     # motion fallback (fit-once, same degradation chain as before)

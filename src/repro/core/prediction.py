@@ -58,18 +58,33 @@ class HybridPredictor:
         tree: TrajectoryPatternTree,
         config: HPMConfig,
         motion_factory: MotionFunctionFactory = default_motion_factory,
+        metrics=None,
     ):
         self.regions = regions
         self.codec = codec
         self.tree = tree
         self.config = config
         self.motion_factory = motion_factory
+        # Serve-tier metrics registry (kernel fallback counter, batch-size
+        # histogram); optional and threaded into every prepared plan.
+        self.metrics = metrics
         # Diagnostics: how many queries each path answered (Fig. 10's cost
         # analysis hinges on the motion-fallback rate).
         self.stats = {"fqp": 0, "bqp": 0, "motion": 0}
         # Weight tables are per (premise key, weight family) and shared by
         # every plan this predictor prepares.
         self._scorer = PremiseScorer(config.weight_function)
+
+    def __getstate__(self) -> dict:
+        # Registries hold threading locks and are process-local (same
+        # contract as HybridPredictionModel); re-bound on adoption.
+        state = self.__dict__.copy()
+        state["metrics"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("metrics", None)
 
     # ------------------------------------------------------------------
     # public API
@@ -89,6 +104,7 @@ class HybridPredictor:
             recent=recent,
             stats=self.stats,
             scorer=self._scorer,
+            metrics=self.metrics,
         )
 
     def predict(

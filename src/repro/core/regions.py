@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -222,6 +222,23 @@ class RegionSet:
                 best = region
                 best_dist = dist
         return best
+
+    def prewarm_locate(self, samples: Iterable[tuple[float, float, int]]) -> int:
+        """Prime the locate memo with ``(x, y, offset)`` probes.
+
+        The memo is derived state and deliberately dropped on pickle
+        (:meth:`__getstate__`), so a freshly restored snapshot answers its
+        first queries through per-region KD-tree lookups.  Warm-up paths
+        (``PredictionService.from_snapshot``) replay the history tail
+        through this so the steady-state working set — recent windows are
+        cut from exactly those rows — is hot before traffic arrives.
+        Returns the number of probes issued.
+        """
+        count = 0
+        for x, y, offset in samples:
+            self.locate((float(x), float(y)), int(offset))
+            count += 1
+        return count
 
     def __getstate__(self) -> dict:
         # The memo is derived state; ship snapshots/pickles without it.

@@ -1,0 +1,549 @@
+"""Vectorized query scoring kernel over packed TPT candidate buckets.
+
+PR 5 vectorized the *fit* pipeline; this module is the query-side
+counterpart.  ``PreparedQuery`` answers FQP/BQP queries by scoring every
+candidate in a consequence-offset bucket with a Python loop over
+:meth:`repro.core.similarity.PremiseScorer.score`.  The kernel packs each
+bucket once into numpy arrays so a query scores all candidates in a
+handful of array operations — and the scan loop is kept as the
+``backend="scan"`` oracle, mirroring the fit pipeline's Apriori treatment.
+
+Packed layout (one :class:`CandidatePack` per consequence time-id)
+------------------------------------------------------------------
+Premises are at most ``max_premise_length`` regions, so a dense
+``(n, premise_length)`` bit-matrix would be ~99% padding.  Instead each
+candidate row stores its scorer table *sparsely*:
+
+* ``bit_cols[r, j]``    — premise-bit index of the j-th table entry of row
+  ``r`` (ascending bit order, exactly ``PremiseScorer.table``); padding
+  columns point at bit 0.
+* ``bit_weights[r, j]`` — the matching weight; padding columns carry 0.0.
+
+With ``qvec`` the query's 0/1 premise-bit vector, the premise similarity
+of every row is::
+
+    (bit_weights * qvec[bit_cols]).cumsum(axis=1)[:, -1]
+
+``cumsum`` accumulates each row strictly left-to-right, i.e. in ascending
+bit order — the same sequential float additions the scalar scorer
+performs.  Padding contributes exact ``+ 0.0`` terms, and IEEE-754
+guarantees ``x + 0.0 == x`` for the non-negative partial sums that occur
+here, so the result is **bit-identical** to ``PremiseScorer.score``.
+(``np.dot``/``matmul`` must not be used: pairwise/BLAS summation reorders
+the additions.)
+
+Candidate-set identity
+----------------------
+Weights are strictly positive, so a row's premise score is ``> 0`` iff the
+query premise key overlaps the candidate's — exactly the filter
+``search_candidates`` applies for FQP.  BQP applies no premise filter, and
+neither does the kernel's backward path.  Top-k uses ``argpartition`` plus
+a stable ``lexsort`` on (score desc, confidence desc, support desc), which
+reproduces ``heapq.nsmallest``'s ordering including tie stability.
+
+Velocity partitioning (opt-in)
+------------------------------
+Following "Boosting Moving Object Indexing through Velocity Partitioning"
+(PAPERS.md), each candidate carries the minimum average speed an object
+must sustain to travel from its last premise region to its consequence
+region in the pattern's time gap.  Candidates are bucketed into speed
+bands (quantiles of that minimum speed); a query object whose
+recent-window speed falls in a lower band cannot plausibly realize the
+faster patterns, so their rows are masked out before scoring.  This is a
+**pruning heuristic**, not an exact transform — it is gated behind
+``HPMConfig.velocity_filter`` (default off) and ignored by the scan
+oracle; all byte-identity guarantees are stated for the filter disabled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..signature.bitset import iter_set_bits
+from .similarity import PremiseScorer
+
+__all__ = [
+    "KERNEL_BATCH_BUCKETS",
+    "CandidatePack",
+    "KernelHits",
+    "KernelUnavailable",
+    "ScoreKernel",
+    "finalize_forward",
+    "pack_premise_tables",
+    "premise_scores",
+    "prime_plan_queries",
+    "top_indices",
+    "window_speed",
+    "pattern_min_speed",
+]
+
+# Histogram buckets for predict_kernel_batch_size: the registry ignores
+# ``buckets`` on an existing instrument, so every call site must pass this
+# same constant.
+KERNEL_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+# Packing is refused beyond this many (row, column) cells; the plan then
+# falls back to the scan backend instead of ballooning resident memory.
+_MAX_CELLS = 1 << 25
+
+# Merged multi-bucket views are memoised per consequence mask (BQP
+# enlargement revisits the same masks across queries); FIFO-bounded.
+_MERGED_CACHE_SIZE = 512
+
+
+class KernelUnavailable(Exception):
+    """The pattern corpus cannot be packed (size cap, exotic payloads,
+    or weight overflow); callers fall back to the scan backend."""
+
+
+class CandidatePack:
+    """One consequence bucket (or merged view) in packed array form.
+
+    Rows follow the bucket's DFS ``seq`` order — the order the scan path
+    scores candidates in — so stable top-k selection ties break
+    identically.
+    """
+
+    __slots__ = (
+        "seqs",
+        "bit_cols",
+        "bit_weights",
+        "confidences",
+        "supports",
+        "cons_offsets",
+        "min_speeds",
+        "patterns",
+        "_velocity_rows",
+    )
+
+    def __init__(
+        self,
+        seqs: np.ndarray,
+        bit_cols: np.ndarray,
+        bit_weights: np.ndarray,
+        confidences: np.ndarray,
+        supports: np.ndarray,
+        cons_offsets: np.ndarray,
+        min_speeds: np.ndarray,
+        patterns: list,
+    ):
+        self.seqs = seqs
+        self.bit_cols = bit_cols
+        self.bit_weights = bit_weights
+        self.confidences = confidences
+        self.supports = supports
+        self.cons_offsets = cons_offsets
+        self.min_speeds = min_speeds
+        self.patterns = patterns
+        self._velocity_rows: dict[float, np.ndarray] = {}
+
+    @property
+    def n(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def width(self) -> int:
+        return self.bit_cols.shape[1]
+
+    def velocity_rows(self, cap: float) -> np.ndarray:
+        """Boolean row mask ``min_speeds <= cap`` (memoised per cap)."""
+        mask = self._velocity_rows.get(cap)
+        if mask is None:
+            mask = self.min_speeds <= cap
+            if len(self._velocity_rows) >= 64:
+                self._velocity_rows.pop(next(iter(self._velocity_rows)))
+            self._velocity_rows[cap] = mask
+        return mask
+
+
+def pack_premise_tables(
+    premise_keys: Sequence[int], scorer: PremiseScorer, width: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse (bit_cols, bit_weights) arrays for a list of premise keys.
+
+    Row ``r`` holds ``scorer.table(premise_keys[r])`` in ascending bit
+    order, padded with (col 0, weight 0.0).  Exposed separately so the
+    property-test suite can exercise packing against the scalar scorer
+    directly.
+    """
+    tables = [scorer.table(rk) for rk in premise_keys]
+    if width is None:
+        width = max((len(t) for t in tables), default=0)
+    width = max(width, 1)
+    n = len(tables)
+    cols = np.zeros((n, width), dtype=np.intp)
+    weights = np.zeros((n, width), dtype=np.float64)
+    for r, table in enumerate(tables):
+        for j, (bit, weight) in enumerate(table):
+            cols[r, j] = bit
+            weights[r, j] = weight
+    return cols, weights
+
+
+def premise_scores(pack: CandidatePack, qvec: np.ndarray) -> np.ndarray:
+    """Premise similarity of every row against the query bit vector.
+
+    Bit-identical to ``PremiseScorer.score`` per row (see module
+    docstring for the accumulation-order argument).
+    """
+    return (pack.bit_weights * qvec[pack.bit_cols]).cumsum(axis=1)[:, -1]
+
+
+def top_indices(
+    scores: np.ndarray, confidences: np.ndarray, supports: np.ndarray, k: int
+) -> np.ndarray:
+    """Indices of the top-k rows under the scan path's ranking.
+
+    Order: score desc, confidence desc, support desc, then original row
+    order for full ties — the ordering ``nsmallest(k, ..., key=_rank_key)``
+    produces over a stably-ordered candidate list.  ``argpartition``
+    narrows to a candidate superset (every row tied with the k-th score
+    survives) before the exact stable ``lexsort``.
+    """
+    n = scores.shape[0]
+    if 0 < k < n:
+        part = np.argpartition(-scores, k - 1)[:k]
+        threshold = scores[part].min()
+        cand = np.flatnonzero(scores >= threshold)
+    else:
+        cand = np.arange(n)
+    # lexsort ranks by its *last* key first and is stable, so ties on all
+    # three keys keep ascending row (bucket) order.
+    order = np.lexsort((-supports[cand], -confidences[cand], -scores[cand]))
+    return cand[order[:k]]
+
+
+class KernelHits:
+    """A scored candidate set awaiting top-k extraction.
+
+    ``rows`` maps the (possibly filtered) score rows back into the pack's
+    pattern list; ``None`` means all pack rows survived.
+    """
+
+    __slots__ = ("scores", "confidences", "supports", "rows", "pack")
+
+    def __init__(self, scores, confidences, supports, rows, pack):
+        self.scores = scores
+        self.confidences = confidences
+        self.supports = supports
+        self.rows = rows
+        self.pack = pack
+
+    def top(self, k: int) -> list[tuple[float, object]]:
+        """Top-k as (score, pattern) pairs with plain-float scores."""
+        idx = top_indices(self.scores, self.confidences, self.supports, k)
+        patterns = self.pack.patterns
+        rows = self.rows
+        if rows is None:
+            return [(float(self.scores[j]), patterns[j]) for j in idx]
+        return [(float(self.scores[j]), patterns[int(rows[j])]) for j in idx]
+
+
+def finalize_forward(
+    pack: CandidatePack, sr: np.ndarray, velocity_cap: float | None
+) -> KernelHits | None:
+    """FQP post-processing: keep overlapping rows, apply Eq. 2.
+
+    ``sr > 0`` is exactly the ``premise_bits & q_rk`` filter of
+    ``search_candidates`` (weights are strictly positive).  Returns
+    ``None`` when no candidate survives — the scan path's "no
+    candidates" answer.
+    """
+    keep = sr > 0.0
+    if velocity_cap is not None:
+        keep &= pack.velocity_rows(velocity_cap)
+    rows = np.flatnonzero(keep)
+    if rows.size == 0:
+        return None
+    if rows.size == keep.size:
+        return KernelHits(
+            sr * pack.confidences, pack.confidences, pack.supports, None, pack
+        )
+    sr = sr[rows]
+    confidences = pack.confidences[rows]
+    return KernelHits(
+        sr * confidences, confidences, pack.supports[rows], rows, pack
+    )
+
+
+def pattern_min_speed(pattern) -> float:
+    """Minimum average speed to realize ``pattern``: distance from the last
+    premise region's center to the consequence center over the offset gap."""
+    last = pattern.premise[-1]
+    gap = pattern.consequence.offset - last.offset
+    if gap <= 0:
+        return 0.0
+    c, p = pattern.consequence.center, last.center
+    return math.hypot(c.x - p.x, c.y - p.y) / gap
+
+
+def window_speed(window: Sequence) -> float:
+    """Fastest per-step speed observed over a recent-movement window."""
+    best = 0.0
+    prev = None
+    for sample in window:
+        if prev is not None:
+            dt = sample.t - prev.t
+            if dt > 0:
+                point, prev_point = sample.point, prev.point
+                speed = (
+                    math.hypot(point.x - prev_point.x, point.y - prev_point.y) / dt
+                )
+                if speed > best:
+                    best = speed
+        prev = sample
+    return best
+
+
+def _pack_bucket(bucket: list, scorer: PremiseScorer) -> CandidatePack:
+    cols, weights = pack_premise_tables(
+        [premise_bits for _seq, premise_bits, _pattern, _key in bucket], scorer
+    )
+    patterns = [pattern for _seq, _premise_bits, pattern, _key in bucket]
+    return CandidatePack(
+        seqs=np.array([seq for seq, _pb, _p, _k in bucket], dtype=np.int64),
+        bit_cols=cols,
+        bit_weights=weights,
+        confidences=np.array([p.confidence for p in patterns], dtype=np.float64),
+        supports=np.array([p.support for p in patterns], dtype=np.int64),
+        cons_offsets=np.array(
+            [p.consequence_offset for p in patterns], dtype=np.int64
+        ),
+        min_speeds=np.array([pattern_min_speed(p) for p in patterns]),
+        patterns=patterns,
+    )
+
+
+def _merge_packs(blocks: list[CandidatePack]) -> CandidatePack:
+    """Union of several buckets, deduplicated by ``seq`` and sorted by it —
+    the order ``search_by_consequence`` merges multi-offset masks in."""
+    seqs = np.concatenate([b.seqs for b in blocks])
+    uniq_seqs, first = np.unique(seqs, return_index=True)
+    width = max(b.width for b in blocks)
+    total = seqs.shape[0]
+    cols = np.zeros((total, width), dtype=np.intp)
+    weights = np.zeros((total, width), dtype=np.float64)
+    r = 0
+    for b in blocks:
+        cols[r : r + b.n, : b.width] = b.bit_cols
+        weights[r : r + b.n, : b.width] = b.bit_weights
+        r += b.n
+    all_patterns = [p for b in blocks for p in b.patterns]
+    return CandidatePack(
+        seqs=uniq_seqs,
+        bit_cols=cols[first],
+        bit_weights=weights[first],
+        confidences=np.concatenate([b.confidences for b in blocks])[first],
+        supports=np.concatenate([b.supports for b in blocks])[first],
+        cons_offsets=np.concatenate([b.cons_offsets for b in blocks])[first],
+        min_speeds=np.concatenate([b.min_speeds for b in blocks])[first],
+        patterns=[all_patterns[i] for i in first],
+    )
+
+
+class ScoreKernel:
+    """Packed candidate buckets for one tree + one weight family.
+
+    Built lazily by ``TrajectoryPatternTree.score_kernel`` from the
+    consequence index and cached on the tree; it shares the index's
+    invalidation contract exactly (insert/delete/bulk_load/
+    rebind_patterns/expire-rebuild all drop it; ``rebind_codec`` keeps it
+    since the key geometry is unchanged).  The arrays are immutable
+    snapshots, safe to score outside the owning object's lock.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        premise_length: int,
+        blocks: dict[int, CandidatePack],
+        offset_time_ids: dict[int, int],
+    ):
+        self.kind = kind
+        self.premise_length = premise_length
+        self._blocks = blocks
+        self._offset_time_ids = offset_time_ids
+        self._merged: dict[int, CandidatePack | None] = {}
+        self._band_edges: dict[int, np.ndarray | None] = {}
+
+    @classmethod
+    def build(cls, tree, kind: str) -> "ScoreKernel":
+        """Pack every consequence bucket of ``tree``.
+
+        Raises :class:`KernelUnavailable` when the corpus exceeds the
+        packing cap, a payload is not a trajectory pattern, or the weight
+        family overflows (the scan path then raises the same overflow at
+        query time, preserving behavior).
+        """
+        codec = tree.codec
+        scorer = PremiseScorer(kind)
+        blocks: dict[int, CandidatePack] = {}
+        cells = 0
+        try:
+            for time_id, bucket in tree.consequence_index().items():
+                pack = _pack_bucket(bucket, scorer)
+                cells += pack.n * pack.width
+                if cells > _MAX_CELLS:
+                    raise KernelUnavailable(f"pattern corpus too large ({cells} cells)")
+                blocks[time_id] = pack
+        except (OverflowError, AttributeError, TypeError) as exc:
+            raise KernelUnavailable(str(exc)) from exc
+        offset_time_ids = {
+            offset: time_id
+            for time_id, offset in enumerate(codec.consequence_offsets())
+        }
+        return cls(kind, codec.premise_length, blocks, offset_time_ids)
+
+    def block_for_offset(self, offset: int) -> CandidatePack | None:
+        """The FQP bucket for a query offset, or ``None`` when that offset
+        has no candidates (unknown offset or empty bucket)."""
+        time_id = self._offset_time_ids.get(offset)
+        if time_id is None:
+            return None
+        return self._blocks.get(time_id)
+
+    def merged(self, mask: int) -> CandidatePack | None:
+        """Merged view of every bucket under a BQP consequence mask."""
+        try:
+            return self._merged[mask]
+        except KeyError:
+            pass
+        blocks = [
+            self._blocks[time_id]
+            for time_id in iter_set_bits(mask)
+            if time_id in self._blocks
+        ]
+        if not blocks:
+            pack = None
+        elif len(blocks) == 1:
+            pack = blocks[0]
+        else:
+            pack = _merge_packs(blocks)
+        if len(self._merged) >= _MERGED_CACHE_SIZE:
+            self._merged.pop(next(iter(self._merged)))
+        self._merged[mask] = pack
+        return pack
+
+    # ------------------------------------------------------------------
+    # velocity partitioning
+    # ------------------------------------------------------------------
+    def band_edges(self, bands: int) -> np.ndarray | None:
+        """Quantile speed-band edges over all candidates (memoised)."""
+        edges = self._band_edges.get(bands)
+        if edges is None and bands not in self._band_edges:
+            if bands < 2 or not self._blocks:
+                edges = None
+            else:
+                speeds = np.concatenate(
+                    [b.min_speeds for b in self._blocks.values()]
+                )
+                if speeds.size == 0:
+                    edges = None
+                else:
+                    edges = np.quantile(
+                        speeds, [i / bands for i in range(1, bands)]
+                    )
+            self._band_edges[bands] = edges
+        return edges
+
+    def velocity_cap(
+        self, speed: float, slack: float, bands: int
+    ) -> float | None:
+        """Max candidate ``min_speed`` admitted for an object moving at
+        ``speed``; ``None`` (no pruning) for the unbounded top band."""
+        edges = self.band_edges(bands)
+        if edges is None:
+            return None
+        band = int(np.searchsorted(edges, speed, side="right"))
+        if band >= edges.size:
+            return None
+        return float(edges[band]) * slack
+
+
+# ----------------------------------------------------------------------
+# cross-plan batching
+# ----------------------------------------------------------------------
+def prime_plan_queries(
+    pairs: Iterable[tuple[object, int]], metrics=None
+) -> int:
+    """Score many (plan, query_time) FQP lookups in one kernel invocation.
+
+    Plans whose query would not take the kernel FQP path (scan backend,
+    BQP horizon, empty premise, already memoised) are skipped; the rest
+    have their per-offset entry computed from one stacked array pass and
+    stored in the plan memo, so the subsequent ``predict`` calls are pure
+    memo hits.  Identity with per-plan scoring: each plan's query vector
+    occupies a disjoint column range of the concatenated ``Q``, and the
+    trailing padding columns contribute exact ``+ 0.0`` terms (see module
+    docstring).
+
+    Returns the number of entries primed; failures leave the plans
+    unprimed (the per-plan path recomputes and, if needed, demotes).
+    """
+    tasks: list[tuple[object, int, CandidatePack]] = []
+    seen: set[tuple[int, int]] = set()
+    for plan, query_time in pairs:
+        offset = plan.fqp_prime_offset(query_time)
+        if offset is None:
+            continue
+        key = (id(plan), offset)
+        if key in seen:
+            continue
+        seen.add(key)
+        pack = plan._kernel.block_for_offset(offset)
+        if pack is None:
+            plan._store_forward(offset, None)
+            continue
+        tasks.append((plan, offset, pack))
+    if not tasks:
+        return 0
+    try:
+        if len(tasks) == 1:
+            plan, offset, pack = tasks[0]
+            sr = premise_scores(pack, plan._qvec)
+            plan._store_forward(
+                offset, finalize_forward(pack, sr, plan._velocity_cap)
+            )
+        else:
+            _prime_batched(tasks)
+    except Exception:
+        return 0
+    if metrics is not None:
+        metrics.histogram(
+            "predict_kernel_batch_size",
+            help="FQP lookups scored per kernel invocation",
+            buckets=KERNEL_BATCH_BUCKETS,
+        ).observe(float(len(tasks)))
+    return len(tasks)
+
+
+def _prime_batched(tasks: list[tuple[object, int, CandidatePack]]) -> None:
+    width = max(pack.width for _plan, _offset, pack in tasks)
+    total = sum(pack.n for _plan, _offset, pack in tasks)
+    bases: dict[int, int] = {}
+    segments: list[np.ndarray] = []
+    next_base = 0
+    for plan, _offset, _pack in tasks:
+        if id(plan) not in bases:
+            bases[id(plan)] = next_base
+            segments.append(plan._qvec)
+            next_base += plan._qvec.shape[0]
+    q_all = np.concatenate(segments)
+    cols = np.zeros((total, width), dtype=np.intp)
+    weights = np.zeros((total, width), dtype=np.float64)
+    spans: list[tuple[object, int, CandidatePack, int, int]] = []
+    r = 0
+    for plan, offset, pack in tasks:
+        n, w = pack.n, pack.width
+        cols[r : r + n, :w] = pack.bit_cols + bases[id(plan)]
+        weights[r : r + n, :w] = pack.bit_weights
+        spans.append((plan, offset, pack, r, r + n))
+        r += n
+    sr_all = (weights * q_all[cols]).cumsum(axis=1)[:, -1]
+    for plan, offset, pack, a, b in spans:
+        plan._store_forward(
+            offset, finalize_forward(pack, sr_all[a:b], plan._velocity_cap)
+        )

@@ -32,6 +32,7 @@ from ..signature.bitset import contain, difference, iter_set_bits, size
 from ..signature.signature_tree import LeafEntry, Node, SignatureTree
 from .keys import KeyCodec, PatternKey
 from .patterns import TrajectoryPattern
+from .scorekernel import KernelUnavailable, ScoreKernel
 
 __all__ = ["TrajectoryPatternTree"]
 
@@ -61,20 +62,28 @@ class TrajectoryPatternTree(SignatureTree):
         # rebuilt lazily after any structural change (see
         # consequence_index).
         self._consequence_index: dict[int, list] | None = None
+        # weight-function kind -> packed scoring kernel (or None when the
+        # corpus is unpackable); derived from the consequence index and
+        # invalidated with it.
+        self._score_kernels: dict[str, ScoreKernel | None] = {}
 
     # ------------------------------------------------------------------
-    # structural mutations invalidate the offset index
+    # structural mutations invalidate the offset index and the kernels
     # ------------------------------------------------------------------
-    def insert(self, signature: int, payload) -> None:
+    def _invalidate_index(self) -> None:
         self._consequence_index = None
+        self._score_kernels = {}
+
+    def insert(self, signature: int, payload) -> None:
+        self._invalidate_index()
         super().insert(signature, payload)
 
     def delete(self, signature: int, match=None) -> bool:
-        self._consequence_index = None
+        self._invalidate_index()
         return super().delete(signature, match)
 
     def bulk_load(self, items) -> None:
-        self._consequence_index = None
+        self._invalidate_index()
         super().bulk_load(items)
 
     # ------------------------------------------------------------------
@@ -140,9 +149,34 @@ class TrajectoryPatternTree(SignatureTree):
                         swapped += 1
             else:
                 stack.extend(node.children)
-        # The consequence index snapshots payload pointers.
-        self._consequence_index = None
+        # The consequence index (and kernels) snapshot payload pointers.
+        self._invalidate_index()
         return swapped
+
+    def score_kernel(self, kind: str) -> "ScoreKernel | None":
+        """The packed scoring kernel for one weight family, building it if
+        stale; ``None`` when the corpus cannot be packed (callers keep the
+        scan path).  Cached until the next structural mutation, exactly
+        like :meth:`consequence_index`."""
+        kernels = self._score_kernels
+        if kind not in kernels:
+            try:
+                kernels[kind] = ScoreKernel.build(self, kind)
+            except KernelUnavailable:
+                kernels[kind] = None
+        return kernels[kind]
+
+    # Kernels hold numpy array snapshots that are cheap to rebuild and
+    # expensive to ship; pickles (process-pool fan-out, fleet snapshots)
+    # travel without them and rebuild lazily on first query.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_score_kernels"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_score_kernels", {})
 
     def consequence_index(self) -> dict[int, list]:
         """The consequence-offset inverted index, building it if stale.
@@ -330,7 +364,7 @@ class TrajectoryPatternTree(SignatureTree):
             ]
             self.root = Node(is_leaf=True)
             self._size = 0
-            self._consequence_index = None
+            self._invalidate_index()
             if survivors:
                 self.bulk_load(survivors)
             return len(doomed)

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 
 from ..core.fleet import FleetPredictionModel
 from ..core.online import OnlineTracker
+from ..core.scorekernel import KERNEL_BATCH_BUCKETS, prime_plan_queries
 from ..trajectory.point import TimedPoint
 from .admission import AdmissionController
 from .batching import RequestBatcher
@@ -166,6 +167,19 @@ class PredictionService:
                 help=f"seconds spent in the {phase} fit phase",
                 buckets=FIT_PHASE_BUCKETS,
             )
+        # Same pre-registration for the query-kernel instruments: the
+        # batch-size histogram needs count-scale buckets, and the fallback
+        # counter should appear at /metrics (and in shard-router merges)
+        # even before the first demotion.
+        self.metrics.histogram(
+            "predict_kernel_batch_size",
+            help="FQP lookups scored per kernel invocation",
+            buckets=KERNEL_BATCH_BUCKETS,
+        )
+        self.metrics.counter(
+            "predict_kernel_fallback_total",
+            help="Prepared plans demoted from the kernel to the scan backend",
+        )
         # Replay the fleet's recorded fit-phase timings into the registry:
         # warmed-up models were fitted before this registry existed (in a
         # worker, a CLI fit run, or a snapshot write), so /metrics would
@@ -226,6 +240,7 @@ class PredictionService:
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
         warmup_workers: int | None = None,
+        prewarm_locate: int = 512,
     ) -> "PredictionService":
         """Build a service from a fleet snapshot directory.
 
@@ -233,10 +248,19 @@ class PredictionService:
         (see :func:`repro.core.persistence.load_fleet`) so a large
         snapshot warms up in a fraction of the serial time before the
         first request is accepted.
+
+        ``prewarm_locate`` replays that many history-tail samples per
+        object through ``RegionSet.locate`` — the memo is dropped on
+        snapshot write, so without this the first requests after a
+        restore pay per-region KD-tree probes and cold-start p99 cliffs.
+        Pass 0 to skip.
         """
         from ..core.persistence import load_fleet
 
         fleet = load_fleet(snapshot_dir, max_workers=warmup_workers)
+        if prewarm_locate:
+            for object_id in fleet.object_ids():
+                fleet[object_id].prewarm_locate_cache(prewarm_locate)
         return cls(fleet, config, metrics)
 
     # ------------------------------------------------------------------
@@ -370,19 +394,29 @@ class PredictionService:
         object is probed at many query times — share one prepared query
         plan, so region mapping, premise-key encoding and motion-function
         fitting happen once per distinct window instead of once per
-        request.  Answers are byte-identical to per-request
-        ``fleet.predict`` calls.
+        request.  On the kernel backend, all the batch's FQP lookups are
+        additionally scored in one kernel invocation before answering
+        (``prime_plan_queries``).  Answers are byte-identical to
+        per-request ``fleet.predict`` calls.
         """
         results = []
         # One lock acquisition covers the whole batch.
         with self.fleet.object_lock(object_id):
             model = self.fleet[object_id]
             plans: dict = {}
+            parsed = []
             for recent_tuple, query_time, k in requests:
                 plan = plans.get(recent_tuple)
                 if plan is None:
                     window = [TimedPoint(t, x, y) for t, x, y in recent_tuple]
                     plan = plans[recent_tuple] = model.prepare(window)
+                parsed.append((plan, query_time, k))
+            if len(parsed) > 1:
+                prime_plan_queries(
+                    ((plan, query_time) for plan, query_time, _k in parsed),
+                    metrics=self.metrics,
+                )
+            for plan, query_time, k in parsed:
                 results.append(model.predict_prepared(plan, query_time, k))
         self.metrics.counter("fleet_predict_total").inc(len(requests))
         return results

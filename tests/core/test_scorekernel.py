@@ -1,0 +1,547 @@
+"""Tests for the vectorized query kernel (``repro.core.scorekernel``).
+
+The contract under test: the packed-numpy kernel backend answers every
+FQP/BQP query **bit-identically** to the per-candidate scan oracle —
+same floats, same patterns, same tie order — while the plan demotes
+itself gracefully whenever the kernel is unavailable or raises, the
+kernel cache follows the consequence index's invalidation contract, the
+per-plan FQP memo stays bounded, and the opt-in velocity filter stays
+off by default.
+"""
+
+import pickle
+from heapq import nsmallest
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HPMConfig
+from repro.core.fleet import FleetPredictionModel
+from repro.core.model import HybridPredictionModel
+from repro.core.scorekernel import (
+    KERNEL_BATCH_BUCKETS,
+    pack_premise_tables,
+    pattern_min_speed,
+    premise_scores,
+    prime_plan_queries,
+    top_indices,
+)
+from repro.core.similarity import PremiseScorer
+from repro.core.tpt import TrajectoryPatternTree
+from repro.serve.metrics import MetricsRegistry
+from repro.trajectory import TimedPoint, Trajectory
+
+PERIOD = 16
+CFG_KW = dict(period=PERIOD, eps=5.0, min_pts=4, distant_threshold=6, recent_window=3)
+
+
+def build_model(num_subs=25, **overrides) -> HybridPredictionModel:
+    """A fitted model over a noisy periodic route (same world as the
+    prepared-query suite: FQP, BQP and motion all fire)."""
+    rng = np.random.default_rng(0)
+    base = np.column_stack([70.0 * np.arange(PERIOD), 35.0 * np.arange(PERIOD)])
+    blocks = [base + rng.normal(0, 0.8, base.shape) for _ in range(num_subs)]
+    cfg = HPMConfig(**{**CFG_KW, **overrides})
+    return HybridPredictionModel(cfg).fit(Trajectory(np.vstack(blocks)))
+
+
+def clone_with_config(model: HybridPredictionModel, **overrides) -> HybridPredictionModel:
+    """A model sharing ``model``'s fitted state under a tweaked config.
+
+    Mining is backend-independent, so sharing regions/patterns/tree makes
+    backend comparisons exact by construction.
+    """
+    clone = HybridPredictionModel(model.config.with_overrides(**overrides))
+    clone._history = model._history
+    clone._regions = model._regions
+    clone._patterns = model._patterns
+    clone._mining_stats = model._mining_stats
+    clone._codec = model._codec
+    clone._tree = model._tree
+    clone._refresh_predictor()
+    return clone
+
+
+def make_window(tc: int, length: int = 3) -> list[TimedPoint]:
+    """A recent window riding the noiseless base route up to time ``tc``."""
+    return [
+        TimedPoint(t, 70.0 * (t % PERIOD), 35.0 * (t % PERIOD))
+        for t in range(tc - length + 1, tc + 1)
+    ]
+
+
+@pytest.fixture(scope="module")
+def kernel_model():
+    return build_model()
+
+
+@pytest.fixture(scope="module")
+def scan_model(kernel_model):
+    return clone_with_config(kernel_model, query_backend="scan")
+
+
+# ----------------------------------------------------------------------
+# kernel == scan, end to end
+# ----------------------------------------------------------------------
+class TestKernelScanEquivalence:
+    def test_kernel_backend_is_active(self, kernel_model, scan_model):
+        window = make_window(401)
+        kplan = kernel_model.prepare(window)
+        splan = scan_model.prepare(window)
+        assert kplan._backend == "kernel"
+        assert kplan.kernel_fallbacks == 0
+        assert splan._backend == "scan"
+        assert splan._kernel is None
+
+    def test_point_queries_bit_identical(self, kernel_model, scan_model):
+        methods = set()
+        for tc in (401, 407, 412):
+            window = make_window(tc)
+            kplan = kernel_model.prepare(window)
+            splan = scan_model.prepare(window)
+            horizons = list(range(1, 2 * PERIOD)) + [3 * PERIOD, 4 * PERIOD + 1]
+            for h in horizons:
+                for k in (1, 3, 8):
+                    got = kplan.predict(tc + h, k)
+                    want = splan.predict(tc + h, k)
+                    assert repr(got) == repr(want), (tc, h, k)
+                    methods.update(p.method for p in got)
+        # The sweep must actually exercise every path, or the comparison
+        # is vacuous.
+        assert methods == {"fqp", "bqp", "motion"}
+
+    def test_trajectory_sweeps_identical(self, kernel_model, scan_model):
+        for tc, step in ((401, 1), (407, 3)):
+            window = make_window(tc)
+            got = kernel_model.predict_trajectory(window, tc + 1, tc + 40, step)
+            want = scan_model.predict_trajectory(window, tc + 1, tc + 40, step)
+            assert repr(got) == repr(want)
+
+    def test_pattern_free_model_stays_scan(self):
+        # Too sparse to mine any pattern: tree is None, plan answers by
+        # motion without counting a kernel fallback.
+        rng = np.random.default_rng(3)
+        model = HybridPredictionModel(HPMConfig(**CFG_KW)).fit(
+            Trajectory(rng.uniform(0, 1e6, (2 * PERIOD, 2)))
+        )
+        assert model._tree is None
+        plan = model.prepare(make_window(101))
+        assert plan._backend == "scan"
+        assert plan.kernel_fallbacks == 0
+        assert plan.predict(103)[0].method == "motion"
+
+
+# ----------------------------------------------------------------------
+# property tests: kernel primitives vs scalar references
+# ----------------------------------------------------------------------
+KINDS = ("linear", "quadratic", "exponential", "factorial")
+
+
+@st.composite
+def scoring_cases(draw):
+    length = draw(st.integers(min_value=1, max_value=24))
+    full = (1 << length) - 1
+    keys = draw(
+        st.lists(st.integers(min_value=0, max_value=full), min_size=1, max_size=16)
+    )
+    # Query masks: arbitrary, plus the empty and saturated edge cases.
+    qkey = draw(
+        st.one_of(
+            st.just(0),
+            st.just(full),
+            st.integers(min_value=0, max_value=full),
+        )
+    )
+    kind = draw(st.sampled_from(KINDS))
+    return length, keys, qkey, kind
+
+
+class TestScoringProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(scoring_cases())
+    def test_packed_scores_match_scalar_scorer(self, case):
+        length, keys, qkey, kind = case
+        scorer = PremiseScorer(kind)
+        cols, weights = pack_premise_tables(keys, scorer)
+        qvec = np.zeros(length, dtype=np.float64)
+        for bit in range(length):
+            if qkey >> bit & 1:
+                qvec[bit] = 1.0
+        pack = SimpleNamespace(bit_cols=cols, bit_weights=weights)
+        got = premise_scores(pack, qvec)
+        want = [scorer.score(rk, qkey) for rk in keys]
+        # Bit-identical, not approximately equal.
+        assert got.tolist() == want
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=40).flatmap(
+            lambda n: st.tuples(
+                st.lists(
+                    st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+                    min_size=n,
+                    max_size=n,
+                ),
+                st.lists(
+                    st.sampled_from([0.3, 0.6, 0.9]), min_size=n, max_size=n
+                ),
+                st.lists(st.integers(min_value=1, max_value=4), min_size=n, max_size=n),
+                st.integers(min_value=1, max_value=n + 5),
+            )
+        )
+    )
+    def test_top_indices_matches_nsmallest(self, case):
+        scores, confidences, supports, k = case
+        n = len(scores)
+        # The scan path's exact ordering: score desc, confidence desc,
+        # support desc, stable on candidate order.
+        want = nsmallest(
+            k,
+            range(n),
+            key=lambda i: (-scores[i], -confidences[i], -supports[i], i),
+        )
+        got = top_indices(
+            np.array(scores),
+            np.array(confidences),
+            np.array(supports, dtype=np.int64),
+            k,
+        )
+        assert got.tolist() == want
+
+
+# ----------------------------------------------------------------------
+# memo bound (satellite: hostile query streams must not grow plans)
+# ----------------------------------------------------------------------
+class TestForwardMemoBound:
+    def test_hostile_query_stream_stays_within_period(self, kernel_model, scan_model):
+        for model in (kernel_model, scan_model):
+            plan = model.prepare(make_window(401))
+            # forward() skips the distant-time validation, so this walks
+            # every offset many times over.
+            for qt in range(402, 402 + 5 * PERIOD):
+                plan.forward(qt, 1)
+            assert len(plan._fqp_scored) <= PERIOD
+
+    def test_store_forward_evicts_oldest(self, kernel_model):
+        plan = kernel_model.prepare(make_window(401))
+        for fake_offset in range(3 * PERIOD):
+            plan._store_forward(fake_offset, None)
+        assert len(plan._fqp_scored) == PERIOD
+        # FIFO: the surviving keys are the most recent PERIOD stores.
+        assert min(plan._fqp_scored) == 2 * PERIOD
+
+
+# ----------------------------------------------------------------------
+# invalidation, refit, pickling
+# ----------------------------------------------------------------------
+class TestKernelInvalidation:
+    def test_structural_mutations_drop_cached_kernels(self):
+        model = build_model(num_subs=15)
+        tree = model._tree
+        kind = model.config.weight_function
+        assert tree.score_kernel(kind) is not None
+        assert tree._score_kernels
+        patterns = tree.all_patterns()
+        tree.rebind_patterns([(p, p) for p in patterns])
+        assert tree._score_kernels == {}
+        # Rebuilt on demand, and a fresh object (not the stale pack).
+        first = tree.score_kernel(kind)
+        assert first is not None
+        victim = patterns[0]
+        assert tree.remove_pattern(victim)
+        assert tree._score_kernels == {}
+        second = tree.score_kernel(kind)
+        assert second is not None and second is not first
+        tree.insert_pattern(victim)
+        assert tree._score_kernels == {}
+        third = tree.score_kernel(kind)
+        tree.bulk_load_patterns(patterns)
+        assert tree._score_kernels == {}
+        assert tree.score_kernel(kind) is not third
+
+    def test_delta_refit_keeps_backends_identical(self):
+        kernel = build_model(num_subs=15)
+        scan = clone_with_config(kernel, query_backend="scan")
+        # scan shares kernel's tree; refit each against its own copy so
+        # the update paths stay independent.
+        scan = pickle.loads(pickle.dumps(scan))
+        rng = np.random.default_rng(7)
+        base = np.column_stack([70.0 * np.arange(PERIOD), 35.0 * np.arange(PERIOD)])
+        new_rows = np.vstack([base + rng.normal(0, 0.8, base.shape) for _ in range(2)])
+        old_kernel_cache = dict(kernel._tree._score_kernels)
+        kernel.update(new_rows, refit="delta")
+        scan.update(new_rows, refit="delta")
+        # The ingest must have invalidated any packed state built before it.
+        assert not set(kernel._tree._score_kernels) & set(old_kernel_cache) or (
+            kernel._tree._score_kernels != old_kernel_cache
+        )
+        tc = kernel._history.end_time
+        window = make_window(tc)
+        for h in list(range(1, 2 * PERIOD)) + [3 * PERIOD]:
+            got = kernel.predict(window, tc + h, 3)
+            want = scan.predict(window, tc + h, 3)
+            assert repr(got) == repr(want), h
+
+    def test_pickle_drops_kernels_and_rebuilds_lazily(self, kernel_model, scan_model):
+        window = make_window(401)
+        kernel_model.predict(window, 403)  # ensure the cache is populated
+        assert kernel_model._tree._score_kernels
+        loaded = pickle.loads(pickle.dumps(kernel_model))
+        assert loaded._tree._score_kernels == {}
+        for h in (1, 3, 8, 20):
+            got = loaded.predict(window, 401 + h, 3)
+            want = scan_model.predict(window, 401 + h, 3)
+            assert repr(got) == repr(want)
+        assert loaded._tree._score_kernels
+
+
+# ----------------------------------------------------------------------
+# graceful demotion to the scan backend
+# ----------------------------------------------------------------------
+class TestKernelFallback:
+    def test_unavailable_kernel_demotes_at_prepare(self, monkeypatch):
+        model = build_model(num_subs=15)
+        scan_model = clone_with_config(model, query_backend="scan")
+        registry = MetricsRegistry()
+        model.bind_metrics(registry)
+        monkeypatch.setattr(
+            TrajectoryPatternTree, "score_kernel", lambda self, kind: None
+        )
+        window = make_window(401)
+        plan = model.prepare(window)
+        assert plan._backend == "scan"
+        assert plan.kernel_fallbacks == 1
+        assert registry.counter("predict_kernel_fallback_total").value == 1
+        for h in (2, 9, 20):
+            assert repr(plan.predict(401 + h, 3)) == repr(
+                scan_model.predict(window, 401 + h, 3)
+            )
+
+    def test_oversized_corpus_is_unavailable(self, monkeypatch):
+        import repro.core.scorekernel as sk
+
+        model = build_model(num_subs=15)
+        monkeypatch.setattr(sk, "_MAX_CELLS", 0)
+        tree = model._tree
+        tree._score_kernels.clear()
+        assert tree.score_kernel(model.config.weight_function) is None
+        # The unavailability itself is cached: prepare falls back cleanly.
+        plan = model.prepare(make_window(401))
+        assert plan._backend == "scan"
+        assert plan.kernel_fallbacks == 1
+
+    def test_mid_query_error_demotes_and_answers(self, kernel_model, scan_model):
+        registry = MetricsRegistry()
+        window = make_window(401)
+        for horizon in (2, 20):  # one FQP, one BQP
+            plan = kernel_model.prepare(window)
+            plan._metrics = registry
+            assert plan._backend == "kernel"
+            plan._qvec = None  # sabotage: every kernel scoring call raises
+            got = plan.predict(401 + horizon, 3)
+            assert plan._backend == "scan"
+            assert plan.kernel_fallbacks == 1
+            assert repr(got) == repr(scan_model.predict(window, 401 + horizon, 3))
+        assert registry.counter("predict_kernel_fallback_total").value == 2
+
+
+# ----------------------------------------------------------------------
+# velocity partitioning (opt-in heuristic)
+# ----------------------------------------------------------------------
+class TestVelocityFilter:
+    def test_off_by_default(self, kernel_model):
+        assert kernel_model.config.velocity_filter is False
+        plan = kernel_model.prepare(make_window(401))
+        assert plan._velocity_cap is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HPMConfig(**CFG_KW, velocity_bands=1)
+        with pytest.raises(ValueError):
+            HPMConfig(**CFG_KW, velocity_slack=0.0)
+
+    def test_huge_slack_matches_unfiltered(self, kernel_model):
+        relaxed = clone_with_config(
+            kernel_model, velocity_filter=True, velocity_slack=1e12
+        )
+        for tc in (401, 407):
+            window = make_window(tc)
+            for h in (1, 3, 9, 20):
+                got = relaxed.predict(window, tc + h, 3)
+                want = kernel_model.predict(window, tc + h, 3)
+                assert repr(got) == repr(want)
+
+    def test_tight_cap_only_admits_slow_patterns(self, kernel_model):
+        strict = clone_with_config(
+            kernel_model, velocity_filter=True, velocity_slack=1e-6
+        )
+        # A single-sample window has speed 0 — the slowest band.
+        window = make_window(401, length=1)
+        plan = strict.prepare(window)
+        cap = plan._velocity_cap
+        assert cap is not None
+        for h in (2, 4, 9, 20):
+            for p in plan.predict(401 + h, 3):
+                if p.pattern is not None:
+                    assert pattern_min_speed(p.pattern) <= cap
+
+    def test_top_band_is_unbounded(self, kernel_model):
+        kernel = kernel_model._tree.score_kernel(
+            kernel_model.config.weight_function
+        )
+        assert kernel.velocity_cap(1e15, 2.0, 4) is None
+
+
+# ----------------------------------------------------------------------
+# cross-object / cross-query batching
+# ----------------------------------------------------------------------
+FLEET_PERIOD = 10
+
+
+def make_fleet_history(route_y: float, seed: int) -> Trajectory:
+    rng = np.random.default_rng(seed)
+    base = np.column_stack(
+        [80.0 * np.arange(FLEET_PERIOD), np.full(FLEET_PERIOD, route_y)]
+    )
+    return Trajectory(
+        np.vstack([base + rng.normal(0, 0.8, base.shape) for _ in range(15)])
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_world():
+    histories = {f"obj{i}": make_fleet_history(400.0 * i, seed=i) for i in range(4)}
+    recents = {
+        f"obj{i}": [TimedPoint(200 + t, 80.0 * t, 400.0 * i) for t in range(3)]
+        for i in range(4)
+    }
+    cfg = HPMConfig(
+        period=FLEET_PERIOD, eps=5.0, min_pts=4, distant_threshold=4, recent_window=3
+    )
+    kernel_fleet = FleetPredictionModel(cfg).fit(histories)
+    scan_fleet = FleetPredictionModel(
+        cfg.with_overrides(query_backend="scan")
+    ).fit(histories)
+    return kernel_fleet, scan_fleet, recents
+
+
+class TestCrossObjectBatching:
+    def test_predict_all_matches_scan_and_per_object(self, fleet_world):
+        kernel_fleet, scan_fleet, recents = fleet_world
+        registry = MetricsRegistry()
+        kernel_fleet.bind_metrics(registry)
+        try:
+            for query_time in (203, 205):
+                batched = kernel_fleet.predict_all(recents, query_time)
+                scan = scan_fleet.predict_all(recents, query_time)
+                assert repr(batched) == repr(scan)
+                per_object = {
+                    oid: kernel_fleet.predict(oid, recents[oid], query_time, 1)[0]
+                    for oid in recents
+                }
+                assert repr(batched) == repr(per_object)
+            hist = registry.histogram(
+                "predict_kernel_batch_size", buckets=KERNEL_BATCH_BUCKETS
+            )
+            assert hist.count >= 1
+            assert hist.total >= len(recents)
+        finally:
+            kernel_fleet.bind_metrics(None)
+
+    def test_prime_plan_queries_is_pure_memoisation(self, kernel_model):
+        windows = [make_window(tc) for tc in (401, 407, 412)]
+        primed_plans = [kernel_model.prepare(w) for w in windows]
+        query_time = 414
+        primed = prime_plan_queries((p, query_time) for p in primed_plans)
+        for plan, window in zip(primed_plans, windows):
+            if plan.current_time < query_time < plan.current_time + 6:
+                assert plan.fqp_prime_offset(query_time) is None  # memo hit
+            fresh = kernel_model.prepare(window)
+            if query_time > fresh.current_time:
+                assert repr(plan.predict(query_time, 3)) == repr(
+                    fresh.predict(query_time, 3)
+                )
+        assert primed >= 1
+
+    def test_prime_sweep_fills_fqp_offsets(self, kernel_model, scan_model):
+        window = make_window(401)
+        plan = kernel_model.prepare(window)
+        primed = plan.prime_sweep(402, 440)
+        # FQP horizon is (tc, tc + d): offsets 402..406 inclusive.
+        assert primed == 5
+        assert sorted(plan._fqp_scored) == sorted(t % PERIOD for t in range(402, 407))
+        got = plan.predict_trajectory(402, 440)
+        want = scan_model.predict_trajectory(window, 402, 440)
+        assert repr(got) == repr(want)
+
+    def test_prime_sweep_noop_on_scan_backend(self, scan_model):
+        plan = scan_model.prepare(make_window(401))
+        assert plan.prime_sweep(402, 440) == 0
+        assert plan._fqp_scored == {}
+
+
+# ----------------------------------------------------------------------
+# locate-cache prewarm (cold-start satellite)
+# ----------------------------------------------------------------------
+def count_uncached_locates(model, window) -> int:
+    regions = model._regions
+    original = regions.locate_uncached
+    calls = {"n": 0}
+
+    def counting(point, offset):
+        calls["n"] += 1
+        return original(point, offset)
+
+    regions.locate_uncached = counting
+    try:
+        model.prepare(window)
+    finally:
+        del regions.locate_uncached
+    return calls["n"]
+
+
+class TestLocatePrewarm:
+    def history_tail_window(self, model, length=3):
+        history = model._history
+        positions = history.positions
+        n = positions.shape[0]
+        return [
+            TimedPoint(
+                history.start_time + i, float(positions[i, 0]), float(positions[i, 1])
+            )
+            for i in range(n - length, n)
+        ]
+
+    def test_prewarm_makes_tail_windows_cache_hits(self, kernel_model):
+        window = self.history_tail_window(kernel_model)
+        cold = pickle.loads(pickle.dumps(kernel_model))
+        assert count_uncached_locates(cold, window) > 0
+
+        warmed = pickle.loads(pickle.dumps(kernel_model))
+        probes = warmed.prewarm_locate_cache(512)
+        assert probes > 0
+        assert count_uncached_locates(warmed, window) == 0
+
+    def test_prewarm_limit_zero_probes_nothing(self, kernel_model):
+        cold = pickle.loads(pickle.dumps(kernel_model))
+        assert cold.prewarm_locate_cache(0) == 0
+        assert len(cold._regions._locate_cache) == 0
+
+    def test_from_snapshot_prewarms_every_object(self, fleet_world, tmp_path):
+        from repro.core.persistence import save_fleet
+        from repro.serve import PredictionService
+
+        kernel_fleet, _scan_fleet, _recents = fleet_world
+        snapshot = tmp_path / "snapshot"
+        save_fleet(kernel_fleet, snapshot)
+
+        service = PredictionService.from_snapshot(snapshot)
+        for oid in service.fleet.object_ids():
+            assert len(service.fleet[oid]._regions._locate_cache) > 0
+
+        cold = PredictionService.from_snapshot(snapshot, prewarm_locate=0)
+        for oid in cold.fleet.object_ids():
+            assert len(cold.fleet[oid]._regions._locate_cache) == 0
