@@ -1,0 +1,309 @@
+"""Snapshot format A/B: v1 npz-per-object vs v2 packed columnar blocks.
+
+The cold-start path is the last unvectorised hot path: a shard worker
+that restarts (SIGKILL -> backoff -> reload its ring slice) and a
+``PredictionService.from_snapshot`` boot both pay decompression,
+per-row Python reconstruction, and a full lazy ``ScoreKernel.build``
+before the first prediction.  Format v2 (``repro.core.snapshot2``)
+stores packed columnar blocks plus the serialised TPT structure and
+kernel tables, so a loader maps the blocks and replays structure
+instead of re-deriving it.
+
+Methodology: one fleet is fitted once and saved in both formats.
+Every timing probe runs in a **fresh subprocess** (cold imports, cold
+page cache for the process, honest ``ru_maxrss``) and measures, inside
+the process, wall-clock for ``load_fleet`` and for the first prediction
+on every object.  The restart drill splits both snapshots into shards
+and times a single shard worker's slice load + first prediction — the
+exact recovery path of ``repro.serve.shard``.  Before any timing, the
+state + prediction SHA-256 fingerprints of v1, v2-mmap, and
+v2-materialised loads are checked against the fitted fleet; any
+divergence fails the run.
+
+Non-smoke runs fail unless the v2 mmap cold start (load + first
+prediction) is at least ``SPEEDUP_GATE``x faster than v1's.
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py            # full, writes BENCH_snapshot.json
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SPEEDUP_GATE = 3.0
+PROBE_WINDOW = 3
+
+
+# ----------------------------------------------------------------------
+# probe mode: runs in a fresh subprocess per measurement
+# ----------------------------------------------------------------------
+def first_predict_all(fleet) -> None:
+    import numpy as np
+
+    from repro import TimedPoint
+
+    for object_id in fleet.object_ids():
+        model = fleet[object_id]
+        positions = np.asarray(model.history_.positions)
+        start_time = model.history_.start_time
+        recent = [
+            TimedPoint(
+                t=start_time + j,
+                x=float(positions[j, 0]),
+                y=float(positions[j, 1]),
+            )
+            for j in range(PROBE_WINDOW)
+        ]
+        model.predict(recent, start_time + PROBE_WINDOW + 2)
+
+
+def run_probe(args) -> int:
+    from repro.core.persistence import load_fleet
+    from repro.serve.shard import load_shard_fleet
+
+    t0 = time.perf_counter()
+    if args.shard is not None:
+        shard_id, num_shards = args.shard
+        fleet = load_shard_fleet(
+            args.probe, shard_id, num_shards, mmap=args.mmap
+        )
+    else:
+        fleet = load_fleet(args.probe, mmap=args.mmap)
+    t1 = time.perf_counter()
+    first_predict_all(fleet)
+    t2 = time.perf_counter()
+    print(
+        json.dumps(
+            {
+                "objects": len(fleet),
+                "load_seconds": t1 - t0,
+                "first_predict_seconds": t2 - t1,
+                "total_seconds": t2 - t0,
+                "rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                / 1024.0,
+            }
+        )
+    )
+    return 0
+
+
+def probe(
+    snapshot: Path,
+    mmap: bool,
+    shard: tuple[int, int] | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Best-of-N cold measurements, each in a fresh interpreter."""
+    command = [sys.executable, __file__, "--probe", str(snapshot)]
+    if not mmap:
+        command.append("--no-mmap")
+    if shard is not None:
+        command += ["--shard", str(shard[0]), str(shard[1])]
+    runs = []
+    for _ in range(repeats):
+        out = subprocess.run(
+            command, capture_output=True, text=True, check=True
+        )
+        runs.append(json.loads(out.stdout))
+    best = min(runs, key=lambda r: r["total_seconds"])
+    best["repeats"] = repeats
+    return best
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def fleet_fingerprints(fleet) -> list[tuple[str, str, str]]:
+    import numpy as np
+
+    from repro import TimedPoint
+    from repro.core.fingerprint import (
+        model_fingerprint,
+        prediction_fingerprint,
+    )
+
+    out = []
+    for object_id in fleet.object_ids():
+        model = fleet[object_id]
+        positions = np.asarray(model.history_.positions)
+        start_time = model.history_.start_time
+        queries = []
+        for start in (0, positions.shape[0] // 3):
+            recent = [
+                TimedPoint(
+                    t=start_time + start + j,
+                    x=float(positions[start + j, 0]),
+                    y=float(positions[start + j, 1]),
+                )
+                for j in range(PROBE_WINDOW)
+            ]
+            queries.append((recent, start_time + start + PROBE_WINDOW + 2))
+            queries.append((recent, start_time + start + PROBE_WINDOW + 9))
+        out.append(
+            (
+                object_id,
+                model_fingerprint(model),
+                prediction_fingerprint(model, queries),
+            )
+        )
+    return out
+
+
+def directory_bytes(directory: Path) -> int:
+    return sum(p.stat().st_size for p in directory.rglob("*") if p.is_file())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--objects", type=int, default=16)
+    parser.add_argument("--subtrajectories", type=int, default=64)
+    parser.add_argument("--period", type=int, default=96)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_snapshot.json")
+    parser.add_argument("--probe", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--no-mmap", dest="mmap", action="store_false", help=argparse.SUPPRESS
+    )
+    parser.add_argument(
+        "--shard", nargs=2, type=int, default=None, help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+    if args.probe:
+        return run_probe(args)
+
+    if args.smoke:
+        args.objects = min(args.objects, 4)
+        args.subtrajectories = min(args.subtrajectories, 24)
+        args.shards = min(args.shards, 2)
+        args.repeats = 1
+
+    from bench_fleet_fit import build_histories, fit_config
+
+    from repro import FleetPredictionModel
+    from repro.core.persistence import load_fleet, save_fleet
+    from repro.serve.shard import split_snapshot
+
+    config = fit_config(args.period)
+    print(
+        f"fitting {args.objects} objects x {args.subtrajectories} "
+        f"sub-trajectories ..."
+    )
+    fleet = FleetPredictionModel(config)
+    fleet.fit(
+        build_histories(args.objects, args.subtrajectories, args.period),
+        max_workers=args.workers,
+        executor="process",
+    )
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_snapshot_"))
+    try:
+        v1_dir, v2_dir = workdir / "v1", workdir / "v2"
+        t0 = time.perf_counter()
+        save_fleet(fleet, v1_dir, format=1, max_workers=args.workers)
+        save_v1 = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        save_fleet(fleet, v2_dir, format=2, max_workers=args.workers)
+        save_v2 = time.perf_counter() - t0
+
+        print("checking fingerprint identity v1 / v2-mmap / v2-mat ...")
+        reference = fleet_fingerprints(fleet)
+        identical = (
+            fleet_fingerprints(load_fleet(v1_dir)) == reference
+            and fleet_fingerprints(load_fleet(v2_dir, mmap=True)) == reference
+            and fleet_fingerprints(load_fleet(v2_dir, mmap=False)) == reference
+        )
+        if not identical:
+            print("FAIL: fingerprints diverge across formats", file=sys.stderr)
+            return 1
+
+        print("cold-start probes (fresh subprocess each) ...")
+        cold = {
+            "v1": probe(v1_dir, mmap=True, repeats=args.repeats),
+            "v2_mmap": probe(v2_dir, mmap=True, repeats=args.repeats),
+            "v2_materialized": probe(
+                v2_dir, mmap=False, repeats=args.repeats
+            ),
+        }
+
+        print("shard-restart drill (slice reload after worker kill) ...")
+        v1_sharded, v2_sharded = workdir / "v1_sharded", workdir / "v2_sharded"
+        placement = split_snapshot(v1_dir, v1_sharded, args.shards)
+        split_snapshot(v2_dir, v2_sharded, args.shards)
+        # Probe the busiest shard — an empty slice would time nothing.
+        victim = max(placement, key=lambda s: len(placement[s]))
+        restart = {
+            "shard_objects": len(placement[victim]),
+            "v1": probe(
+                v1_sharded, mmap=True, shard=(victim, args.shards),
+                repeats=args.repeats,
+            ),
+            "v2_mmap": probe(
+                v2_sharded, mmap=True, shard=(victim, args.shards),
+                repeats=args.repeats,
+            ),
+        }
+
+        speedup_cold = (
+            cold["v1"]["total_seconds"] / cold["v2_mmap"]["total_seconds"]
+        )
+        speedup_restart = (
+            restart["v1"]["total_seconds"]
+            / restart["v2_mmap"]["total_seconds"]
+        )
+        report = {
+            "benchmark": "snapshot",
+            "smoke": args.smoke,
+            "params": {
+                "objects": args.objects,
+                "subtrajectories": args.subtrajectories,
+                "period": args.period,
+                "shards": args.shards,
+                "repeats": args.repeats,
+            },
+            "save_seconds": {"v1": save_v1, "v2": save_v2},
+            "snapshot_bytes": {
+                "v1": directory_bytes(v1_dir),
+                "v2": directory_bytes(v2_dir),
+            },
+            "cold_start": cold,
+            "restart_recovery": restart,
+            "cold_start_speedup_mmap": speedup_cold,
+            "restart_recovery_speedup_mmap": speedup_restart,
+            "fingerprints_identical": identical,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(
+        f"\ncold start: v1 {cold['v1']['total_seconds']:.2f}s -> "
+        f"v2 mmap {cold['v2_mmap']['total_seconds']:.2f}s "
+        f"({speedup_cold:.2f}x); restart: {restart['v1']['total_seconds']:.2f}s"
+        f" -> {restart['v2_mmap']['total_seconds']:.2f}s "
+        f"({speedup_restart:.2f}x)"
+    )
+    if not args.smoke and speedup_cold < SPEEDUP_GATE:
+        print(
+            f"FAIL: v2 mmap cold start {speedup_cold:.2f}x < "
+            f"{SPEEDUP_GATE}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -229,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     shard_worker.add_argument("--refit-full-every", type=int, default=None)
     shard_worker.add_argument("--gap-policy", choices=("reject", "pad"),
                               default="reject")
+    shard_worker.add_argument("--no-mmap", dest="mmap", action="store_false",
+                              help="materialize v2 snapshot blocks instead of "
+                                   "memory-mapping them")
 
     shard_snapshot = sub.add_parser(
         "shard-snapshot",
@@ -248,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     ss_merge.add_argument("source", help="sharded snapshot directory")
     ss_merge.add_argument("-o", "--output", required=True,
                           help="fleet snapshot output directory")
+
+    convert = sub.add_parser(
+        "snapshot-convert",
+        help="convert a fleet snapshot between formats (v1 npz <-> v2 packed)",
+    )
+    convert.add_argument("source", help="fleet snapshot directory")
+    convert.add_argument("-o", "--output", required=True,
+                         help="converted snapshot output directory")
+    convert.add_argument("--to", type=int, choices=(1, 2), default=2,
+                         dest="target_format",
+                         help="target format version (default: 2)")
+    convert.add_argument("--max-workers", type=int, default=None)
+
+    stat = sub.add_parser(
+        "snapshot-stat",
+        help="print a fleet snapshot's layout summary as JSON",
+    )
+    stat.add_argument("source", help="fleet snapshot directory")
 
     loadgen = sub.add_parser(
         "loadgen", help="replay a trajectory workload against a running server"
@@ -575,6 +596,7 @@ def _cmd_shard_worker(args) -> int:
                 config=config,
                 grace=args.grace,
                 max_workers=args.warmup_workers,
+                mmap=args.mmap,
             )
         )
     except KeyboardInterrupt:
@@ -602,6 +624,30 @@ def _cmd_shard_snapshot(args) -> int:
     else:
         merged = merge_snapshot(args.source, args.output)
         print(f"wrote {args.output}: merged {len(merged)} object(s)")
+    return 0
+
+
+def _cmd_snapshot_convert(args) -> int:
+    from .core.persistence import convert_snapshot
+
+    count = convert_snapshot(
+        args.source,
+        args.output,
+        format=args.target_format,
+        max_workers=args.max_workers,
+    )
+    print(
+        f"wrote {args.output}: {count} object(s) as format v{args.target_format}"
+    )
+    return 0
+
+
+def _cmd_snapshot_stat(args) -> int:
+    import json as _json
+
+    from .core.snapshot2 import snapshot_stat
+
+    print(_json.dumps(snapshot_stat(args.source), indent=2))
     return 0
 
 
@@ -653,6 +699,8 @@ def main(argv: list[str] | None = None) -> int:
         "shard-serve": _cmd_shard_serve,
         "shard-worker": _cmd_shard_worker,
         "shard-snapshot": _cmd_shard_snapshot,
+        "snapshot-convert": _cmd_snapshot_convert,
+        "snapshot-stat": _cmd_snapshot_stat,
         "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)

@@ -392,8 +392,16 @@ class HybridPredictionModel:
         history: Trajectory,
         regions: RegionSet,
         patterns: list[TrajectoryPattern],
+        tree_packed: tuple | None = None,
     ) -> None:
-        """Install pre-mined state (used by :mod:`repro.core.persistence`)."""
+        """Install pre-mined state (used by :mod:`repro.core.persistence`).
+
+        ``tree_packed`` optionally supplies the serialised TPT structure
+        ``(entry_signatures, entry_pattern_rows, node_signatures)`` from a
+        v2 snapshot (:mod:`repro.core.snapshot2`), letting the index
+        rebuild skip key encoding, sorting and union derivation while
+        producing a tree structurally identical to a fresh bulk load.
+        """
         self._fit_phase_seconds = {}
         self._history = history
         self._regions = regions
@@ -405,7 +413,7 @@ class HybridPredictionModel:
             num_frequent_premises=0,
             num_patterns=len(patterns),
         )
-        self._build_index()
+        self._build_index(tree_packed)
         self._state_token += 1
         self._deltas_since_full = 0
         self._last_refit_stats = None
@@ -444,7 +452,7 @@ class HybridPredictionModel:
         self._mining_stats = stats
         self._fit_phase_seconds["mine"] = time.perf_counter() - mine_start
 
-    def _build_index(self) -> None:
+    def _build_index(self, tree_packed: tuple | None = None) -> None:
         assert self._regions is not None
         index_start = time.perf_counter()
         if len(self._regions) == 0 or not self._patterns:
@@ -462,7 +470,15 @@ class HybridPredictionModel:
             max_entries=self.config.tree_max_entries,
             min_entries=self.config.tree_min_entries,
         )
-        self._tree.bulk_load_patterns(self._patterns)
+        if tree_packed is not None:
+            entry_signatures, entry_rows, node_signatures = tree_packed
+            self._tree.bulk_load_packed(
+                entry_signatures,
+                [self._patterns[i] for i in entry_rows],
+                node_signatures,
+            )
+        else:
+            self._tree.bulk_load_patterns(self._patterns)
         self._refresh_predictor()
         self._fit_phase_seconds["index"] = time.perf_counter() - index_start
 

@@ -16,9 +16,17 @@ second via the bottom-up bulk load, which keeps the format trivial and
 version-stable.
 
 A whole :class:`~repro.core.fleet.FleetPredictionModel` serialises as a
-**fleet snapshot**: a directory with one ``.npz`` per object plus a
-``manifest.json`` mapping object ids to files.  The serving layer
-(:mod:`repro.serve`) loads either format.
+**fleet snapshot** in one of two formats:
+
+* **v1** — a directory with one ``.npz`` per object plus a
+  ``manifest.json`` mapping object ids to files (archival format, kept
+  readable and writable forever);
+* **v2** (the default) — packed columnar blocks with a per-object offset
+  index, memory-mappable for zero-copy cold starts; see
+  :mod:`repro.core.snapshot2` for the layout specification.
+
+``load_fleet`` dispatches on the manifest's ``format_version``, so the
+serving layer (:mod:`repro.serve`) loads either transparently.
 """
 
 from __future__ import annotations
@@ -37,7 +45,13 @@ from .model import HybridPredictionModel
 from .parallel import run_keyed_tasks
 from .patterns import TrajectoryPattern
 
-__all__ = ["save_model", "load_model", "save_fleet", "load_fleet"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "save_fleet",
+    "load_fleet",
+    "convert_snapshot",
+]
 
 _FORMAT_VERSION = 1
 _FLEET_FORMAT_VERSION = 1
@@ -131,10 +145,23 @@ def load_model(path: str | Path) -> HybridPredictionModel:
     from ..trajectory.point import BoundingBox, Point
     from .regions import FrequentRegion, RegionSet
 
+    # Per-region bounds in two reduceat passes instead of a Python loop
+    # over every member point.  min/max are accumulation-order free, so
+    # the results are bit-identical to BoundingBox.from_points; centers
+    # keep the per-region pairwise mean (reduction order matters there).
+    counts = region_rows[:, 2].astype(np.intp)
+    if counts.size and counts.min() > 0 and region_points.shape[0]:
+        starts = np.zeros(counts.size, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        mins = np.minimum.reduceat(region_points, starts, axis=0)
+        maxs = np.maximum.reduceat(region_points, starts, axis=0)
+    else:
+        mins = maxs = None
+
     regions_list = []
     point_cursor = 0
     sub_cursor = 0
-    for offset, index, num_points, num_subs in region_rows:
+    for i, (offset, index, num_points, num_subs) in enumerate(region_rows):
         points = region_points[point_cursor : point_cursor + num_points].copy()
         point_cursor += num_points
         sub_ids = tuple(
@@ -142,15 +169,24 @@ def load_model(path: str | Path) -> HybridPredictionModel:
         )
         sub_cursor += num_subs
         center = points.mean(axis=0)
+        if mins is not None:
+            bbox = BoundingBox(
+                float(mins[i, 0]),
+                float(mins[i, 1]),
+                float(maxs[i, 0]),
+                float(maxs[i, 1]),
+            )
+        else:
+            bbox = BoundingBox.from_points(
+                [(float(x), float(y)) for x, y in points]
+            )
         regions_list.append(
             FrequentRegion(
                 offset=int(offset),
                 index=int(index),
                 center=Point(float(center[0]), float(center[1])),
                 points=points,
-                bbox=BoundingBox.from_points(
-                    [(float(x), float(y)) for x, y in points]
-                ),
+                bbox=bbox,
                 subtrajectory_ids=sub_ids,
             )
         )
@@ -176,22 +212,56 @@ def load_model(path: str | Path) -> HybridPredictionModel:
     return model
 
 
-def save_fleet(fleet: FleetPredictionModel, directory: str | Path) -> None:
+def save_fleet(
+    fleet: FleetPredictionModel,
+    directory: str | Path,
+    *,
+    format: int = 2,
+    max_workers: int | None = None,
+    executor: str = "thread",
+) -> None:
     """Serialise a fleet to a snapshot directory.
 
-    Layout: ``manifest.json`` plus one ``object_NNNN.npz`` per object
-    (filenames are positional so arbitrary object ids never have to be
-    path-safe).  Existing snapshot files in the directory are replaced.
+    ``format=2`` (the default) writes the packed columnar layout of
+    :mod:`repro.core.snapshot2`; ``format=1`` writes the archival
+    one-``.npz``-per-object layout (filenames are positional so
+    arbitrary object ids never have to be path-safe).  Either way the
+    per-object serialisation work fans out over
+    :func:`~repro.core.parallel.run_keyed_tasks` with ``max_workers``
+    concurrency, while the manifest keeps ``fleet.object_ids()`` order —
+    the output is deterministic regardless of worker count.  Existing
+    snapshot files in the directory are replaced.
     """
+    if format == 2:
+        from .snapshot2 import save_fleet_v2
+
+        save_fleet_v2(
+            fleet, directory, max_workers=max_workers, executor=executor
+        )
+        return
+    if format != 1:
+        raise ValueError(f"unsupported fleet snapshot format {format}")
     if len(fleet) == 0:
         raise ValueError("cannot save an empty fleet")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    objects: dict[str, str] = {}
-    for index, object_id in enumerate(fleet.object_ids()):
-        filename = f"object_{index:04d}.npz"
-        save_model(fleet[object_id], directory / filename)
-        objects[object_id] = filename
+    object_ids = fleet.object_ids()
+    objects: dict[str, str] = {
+        object_id: f"object_{index:04d}.npz"
+        for index, object_id in enumerate(object_ids)
+    }
+    jobs = [
+        (object_id, (fleet[object_id], directory / objects[object_id]))
+        for object_id in object_ids
+    ]
+    _results, failures = run_keyed_tasks(
+        save_model, jobs, max_workers=max_workers, executor=executor
+    )
+    if failures:
+        # Surface the first failure in manifest order, as a serial save would.
+        for object_id in object_ids:
+            if object_id in failures:
+                raise failures[object_id]
     manifest = {
         "format_version": _FLEET_FORMAT_VERSION,
         "config": dataclasses.asdict(fleet.config),
@@ -205,14 +275,16 @@ def load_fleet(
     max_workers: int | None = None,
     executor: str = "thread",
     object_ids: "Collection[str] | None" = None,
+    mmap: bool = True,
 ) -> FleetPredictionModel:
-    """Reload a fleet snapshot written by :func:`save_fleet`.
+    """Reload a fleet snapshot written by :func:`save_fleet` (v1 or v2).
 
-    With ``max_workers`` > 1 the per-object archives load in parallel —
+    With ``max_workers`` > 1 the per-object restores run in parallel —
     the decompression and array reconstruction overlap well under a
     thread pool (``executor="thread"``, the default), and
     ``executor="process"`` ships the rebuilt models back by pickle for
-    the largest snapshots.  The resulting fleet is identical to a serial
+    the largest v1 snapshots (v2 coerces to threads; its blocks are
+    shared mappings).  The resulting fleet is identical to a serial
     load; objects are adopted in manifest order.
 
     ``object_ids`` restricts the load to a subset of the manifest — a
@@ -220,13 +292,30 @@ def load_fleet(
     owns, so warm-up cost scales with the shard, not the fleet.  Ids
     missing from the manifest raise ``ValueError``; an empty selection
     yields an empty fleet (a legal, if idle, shard).
+
+    ``mmap`` (v2 only) maps the blocks read-only so region points and
+    kernel tables stay zero-copy views; pass ``False`` to materialise
+    private in-memory copies instead.  Both modes restore byte-identical
+    state.  v1 snapshots always materialise.
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
     if not manifest_path.is_file():
         raise ValueError(f"{directory} is not a fleet snapshot (no {_MANIFEST})")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != _FLEET_FORMAT_VERSION:
+    version = manifest.get("format_version")
+    if version == 2:
+        from .snapshot2 import load_fleet_v2
+
+        return load_fleet_v2(
+            directory,
+            manifest,
+            max_workers=max_workers,
+            executor=executor,
+            object_ids=object_ids,
+            mmap=mmap,
+        )
+    if version != _FLEET_FORMAT_VERSION:
         raise ValueError(
             f"{directory}: unsupported fleet format "
             f"{manifest.get('format_version')}"
@@ -261,3 +350,23 @@ def load_fleet(
     for object_id, model in results.items():
         fleet.adopt_object(object_id, model)
     return fleet
+
+
+def convert_snapshot(
+    source: str | Path,
+    output: str | Path,
+    format: int = 2,
+    max_workers: int | None = None,
+) -> int:
+    """Convert a fleet snapshot between formats (``repro snapshot-convert``).
+
+    Loads ``source`` (either format) and rewrites it as ``format`` into
+    ``output``.  The conversion round-trips through full model
+    reconstruction, so the result carries exactly the state a load of the
+    source would produce — the snapshot property tests pin v1→v2→load to
+    byte-identical state and prediction fingerprints.  Returns the number
+    of objects converted.
+    """
+    fleet = load_fleet(source, max_workers=max_workers)
+    save_fleet(fleet, output, format=format, max_workers=max_workers)
+    return len(fleet)

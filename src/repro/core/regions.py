@@ -27,7 +27,62 @@ __all__ = [
     "RegionSet",
     "discover_frequent_regions",
     "cluster_offset_group",
+    "regions_from_arrays",
 ]
+
+
+def regions_from_arrays(
+    region_rows: np.ndarray,
+    region_geo: np.ndarray,
+    region_points: np.ndarray,
+    region_sub_ids: np.ndarray,
+    points_start: int = 0,
+) -> list[FrequentRegion]:
+    """Reconstruct :class:`FrequentRegion` objects from packed columnar blocks.
+
+    The v2 snapshot format stores regions as four parallel blocks:
+    ``region_rows`` ``(R, 4)`` int64 rows of ``(offset, index, n_points,
+    n_subs)``, ``region_geo`` ``(R, 6)`` float64 rows of ``(center_x,
+    center_y, min_x, min_y, max_x, max_y)``, the member points
+    concatenated as ``region_points`` and the contributing sub-trajectory
+    ids concatenated as ``region_sub_ids``.  Centers and bounding boxes
+    are *stored*, never recomputed — a recomputation could reorder float
+    accumulation and break SHA-256 state-fingerprint identity with the
+    model that was saved.
+
+    ``region_points`` may be a memory-mapped block: each region's
+    ``points`` attribute becomes a zero-copy slice view starting at
+    ``points_start``, so constructing a fleet's regions touches no point
+    pages until a KD-tree or fingerprint actually reads them.
+    """
+    rows = np.asarray(region_rows).tolist()
+    geo = np.asarray(region_geo).tolist()
+    if len(rows) != len(geo):
+        raise ValueError(
+            f"region_rows has {len(rows)} rows but region_geo has {len(geo)}"
+        )
+    sub_ids = np.asarray(region_sub_ids).tolist()
+    regions: list[FrequentRegion] = []
+    cursor = points_start
+    sub_cursor = 0
+    for (offset, index, n_points, n_subs), (cx, cy, x0, y0, x1, y1) in zip(
+        rows, geo
+    ):
+        points = region_points[cursor : cursor + n_points]
+        cursor += n_points
+        subs = tuple(sub_ids[sub_cursor : sub_cursor + n_subs])
+        sub_cursor += n_subs
+        regions.append(
+            FrequentRegion(
+                offset=offset,
+                index=index,
+                center=Point(cx, cy),
+                points=points,
+                bbox=BoundingBox(x0, y0, x1, y1),
+                subtrajectory_ids=subs,
+            )
+        )
+    return regions
 
 
 @dataclass(frozen=True)

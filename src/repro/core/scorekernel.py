@@ -397,6 +397,16 @@ class ScoreKernel:
         }
         return cls(kind, codec.premise_length, blocks, offset_time_ids)
 
+    def export_buckets(self) -> list[tuple[int, CandidatePack]]:
+        """The packed buckets in ascending consequence time-id order.
+
+        Snapshot writers serialise these arrays verbatim; a kernel
+        reconstructed from the stored blocks (same ``kind``, same
+        ``premise_length``, same bucket arrays) scores byte-identically
+        to one built from the tree.
+        """
+        return sorted(self._blocks.items())
+
     def block_for_offset(self, offset: int) -> CandidatePack | None:
         """The FQP bucket for a query offset, or ``None`` when that offset
         has no candidates (unknown offset or empty bucket)."""

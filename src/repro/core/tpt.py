@@ -86,6 +86,10 @@ class TrajectoryPatternTree(SignatureTree):
         self._invalidate_index()
         super().bulk_load(items)
 
+    def bulk_load_packed(self, signatures, payloads, node_signatures) -> None:
+        self._invalidate_index()
+        super().bulk_load_packed(signatures, payloads, node_signatures)
+
     # ------------------------------------------------------------------
     # pattern-level API
     # ------------------------------------------------------------------
@@ -165,6 +169,22 @@ class TrajectoryPatternTree(SignatureTree):
             except KernelUnavailable:
                 kernels[kind] = None
         return kernels[kind]
+
+    def prime_score_kernel(self, kind: str, kernel: "ScoreKernel") -> None:
+        """Install a pre-built kernel for ``kind`` (snapshot restore path).
+
+        The caller guarantees the kernel's arrays were packed from
+        exactly this tree's pattern corpus in canonical bulk-load order —
+        the v2 snapshot loader reconstructs it from stored blocks so the
+        first query skips the full :meth:`ScoreKernel.build` pass.  The
+        primed kernel obeys the normal invalidation contract: the next
+        structural mutation drops it like any lazily-built one.
+        """
+        if kernel.kind != kind:
+            raise ValueError(
+                f"kernel was built for kind {kernel.kind!r}, not {kind!r}"
+            )
+        self._score_kernels[kind] = kernel
 
     # Kernels hold numpy array snapshots that are cheap to rebuild and
     # expensive to ship; pickles (process-pool fan-out, fleet snapshots)

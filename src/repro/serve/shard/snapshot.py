@@ -8,10 +8,14 @@ given a sharded snapshot load their ``shard_NNNN`` directly; the router
 reads the manifest and builds the *same* ring, so placement on disk and
 placement in traffic can never disagree.
 
-Splitting copies the per-object ``.npz`` archives byte-for-byte (no
-model deserialisation), so resharding a multi-gigabyte snapshot costs
-one file copy per object.  ``merge_snapshot`` reverses a split into a
-plain fleet snapshot, renaming archives positionally in sorted
+Splitting never deserialises a model.  v1 sources copy the per-object
+``.npz`` archives byte-for-byte; v2 (packed columnar) sources repack
+each shard's block slices with
+:func:`repro.core.snapshot2.repack_snapshot_subset`, so every
+``shard_NNNN`` is itself a v2 snapshot the worker can mmap.
+``merge_snapshot`` reverses a split into a plain fleet snapshot —
+positional archive renames for v1, block concatenation via
+:func:`repro.core.snapshot2.merge_packed_snapshots` for v2 — in sorted
 object-id order so the result is deterministic regardless of how the
 shards were laid out.
 """
@@ -23,6 +27,11 @@ import shutil
 from pathlib import Path
 
 from ...core.config import HPMConfig
+from ...core.snapshot2 import (
+    FLEET_FORMAT_V2,
+    merge_packed_snapshots,
+    repack_snapshot_subset,
+)
 from .ring import DEFAULT_REPLICAS, HashRing
 
 __all__ = [
@@ -68,6 +77,7 @@ def split_snapshot(
     source = Path(source)
     output = Path(output)
     manifest = _read_fleet_manifest(source)
+    packed = manifest.get("format_version") == FLEET_FORMAT_V2
     ring = HashRing(num_shards, replicas=replicas, salt=salt)
     groups = ring.assignments(manifest["objects"].keys())
 
@@ -75,21 +85,25 @@ def split_snapshot(
     placement: dict[int, list[str]] = {}
     for shard_id in range(num_shards):
         shard_dir = output / shard_dir_name(shard_id)
-        shard_dir.mkdir(parents=True, exist_ok=True)
-        objects: dict[str, str] = {}
-        for object_id in sorted(groups[shard_id]):
-            filename = manifest["objects"][object_id]
-            shutil.copy2(source / filename, shard_dir / filename)
-            objects[object_id] = filename
-        shard_manifest = {
-            "format_version": manifest["format_version"],
-            "config": manifest["config"],
-            "objects": objects,
-        }
-        (shard_dir / _FLEET_MANIFEST).write_text(
-            json.dumps(shard_manifest, indent=2)
-        )
-        placement[shard_id] = sorted(groups[shard_id])
+        shard_ids = sorted(groups[shard_id])
+        if packed:
+            repack_snapshot_subset(source, shard_dir, shard_ids)
+        else:
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            objects: dict[str, str] = {}
+            for object_id in shard_ids:
+                filename = manifest["objects"][object_id]
+                shutil.copy2(source / filename, shard_dir / filename)
+                objects[object_id] = filename
+            shard_manifest = {
+                "format_version": manifest["format_version"],
+                "config": manifest["config"],
+                "objects": objects,
+            }
+            (shard_dir / _FLEET_MANIFEST).write_text(
+                json.dumps(shard_manifest, indent=2)
+            )
+        placement[shard_id] = shard_ids
 
     top = {
         "format_version": _SHARD_FORMAT_VERSION,
@@ -132,19 +146,30 @@ def merge_snapshot(source: str | Path, output: str | Path) -> list[str]:
     """Merge a sharded snapshot back into one plain fleet snapshot.
 
     Returns the merged object ids (sorted).  Shard configs must agree;
-    archives are copied and renamed positionally in sorted object-id
+    v1 archives are copied and renamed positionally in sorted object-id
     order, matching the layout :func:`repro.core.persistence.save_fleet`
-    would produce.
+    would produce; v2 shards have their blocks re-concatenated in the
+    same order.  Mixed-format shards raise.
     """
     source = Path(source)
     output = Path(output)
     manifest = read_shard_manifest(source)
 
+    shard_dirs = [source / name for name in manifest["shards"]]
+    versions = {
+        _read_fleet_manifest(d).get("format_version") for d in shard_dirs
+    }
+    if len(versions) > 1:
+        raise ValueError(
+            f"{source}: shards mix snapshot formats {sorted(versions)}"
+        )
+    if versions == {FLEET_FORMAT_V2}:
+        return merge_packed_snapshots(shard_dirs, output)
+
     merged: dict[str, Path] = {}
     config: dict | None = None
     format_version = None
-    for shard_name in manifest["shards"]:
-        shard_dir = source / shard_name
+    for shard_dir in shard_dirs:
         shard_manifest = _read_fleet_manifest(shard_dir)
         if config is None:
             config = shard_manifest["config"]

@@ -54,8 +54,15 @@ def load_shard_fleet(
     replicas: int = DEFAULT_REPLICAS,
     salt: str = "hpm-ring",
     max_workers: int | None = None,
+    mmap: bool = True,
 ) -> FleetPredictionModel:
-    """Load the slice of ``snapshot`` that shard ``shard_id`` owns."""
+    """Load the slice of ``snapshot`` that shard ``shard_id`` owns.
+
+    With a v2 (packed columnar) snapshot the ring slice is restricted
+    via the per-object offset index before any block is touched, so a
+    worker only faults in the pages its own objects occupy; ``mmap``
+    forwards to :func:`repro.core.persistence.load_fleet`.
+    """
     if not 0 <= shard_id < num_shards:
         raise ValueError(
             f"shard id {shard_id} outside 0..{num_shards - 1}"
@@ -70,7 +77,9 @@ def load_shard_fleet(
                 f"({num_shards}, {replicas}, {salt!r}); resplit or fix flags"
             )
         return load_fleet(
-            snapshot / shard_dir_name(shard_id), max_workers=max_workers
+            snapshot / shard_dir_name(shard_id),
+            max_workers=max_workers,
+            mmap=mmap,
         )
     ring = HashRing(num_shards, replicas=replicas, salt=salt)
     manifest_path = snapshot / "manifest.json"
@@ -78,7 +87,9 @@ def load_shard_fleet(
         raise ValueError(f"{snapshot} is not a fleet snapshot")
     object_ids = json.loads(manifest_path.read_text())["objects"].keys()
     mine = [oid for oid in object_ids if ring.shard_for(oid) == shard_id]
-    return load_fleet(snapshot, max_workers=max_workers, object_ids=mine)
+    return load_fleet(
+        snapshot, max_workers=max_workers, object_ids=mine, mmap=mmap
+    )
 
 
 async def run_worker(
@@ -94,6 +105,7 @@ async def run_worker(
     config: ServeConfig | None = None,
     grace: float = 5.0,
     max_workers: int | None = None,
+    mmap: bool = True,
 ) -> int:
     """Serve one shard until SIGTERM/SIGINT; returns the exit code.
 
@@ -107,6 +119,7 @@ async def run_worker(
         replicas=replicas,
         salt=salt,
         max_workers=max_workers,
+        mmap=mmap,
     )
     service = PredictionService(fleet, config or ServeConfig())
     service.metrics.gauge(

@@ -174,3 +174,51 @@ class TestFit:
                 ["fit", str(fleet_csvs[0]), str(fleet_csvs[0]), "-o",
                  str(tmp_path / "snap"), "--period", "30"]
             )
+
+
+class TestSnapshotTools:
+    @pytest.fixture(scope="class")
+    def fleet_snapshot(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("snaptools")
+        csv = directory / "bike.csv"
+        assert main(
+            ["synth", "bike", "-o", str(csv), "--subtrajectories", "15",
+             "--period", "30", "--seed", "5"]
+        ) == 0
+        snapshot = directory / "snapshot"
+        assert main(
+            ["fit", str(csv), "-o", str(snapshot), "--period", "30",
+             "--workers", "1", "--executor", "thread"]
+        ) == 0
+        return snapshot
+
+    def test_stat_reports_v2(self, fleet_snapshot, capsys):
+        import json
+
+        assert main(["snapshot-stat", str(fleet_snapshot)]) == 0
+        stat = json.loads(capsys.readouterr().out)
+        assert stat["format_version"] == 2
+        assert stat["objects"] == 1
+        assert stat["total_block_bytes"] > 0
+
+    def test_convert_round_trips(self, fleet_snapshot, tmp_path, capsys):
+        import json
+
+        from repro.core.persistence import load_fleet
+
+        v1 = tmp_path / "v1"
+        assert main(
+            ["snapshot-convert", str(fleet_snapshot), "-o", str(v1), "--to", "1"]
+        ) == 0
+        assert "1 object(s) as format v1" in capsys.readouterr().out
+        assert main(["snapshot-stat", str(v1)]) == 0
+        assert json.loads(capsys.readouterr().out)["format_version"] == 1
+
+        v2 = tmp_path / "v2"
+        assert main(
+            ["snapshot-convert", str(v1), "-o", str(v2), "--to", "2"]
+        ) == 0
+        original = load_fleet(fleet_snapshot)
+        converted = load_fleet(v2)
+        assert converted.object_ids() == original.object_ids()
+        assert converted.total_patterns() == original.total_patterns()

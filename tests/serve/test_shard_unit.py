@@ -286,6 +286,41 @@ class TestShardSnapshots:
         with pytest.raises(ValueError, match="split for ring"):
             load_shard_fleet(sharded, 0, 3)
 
+    @pytest.mark.parametrize("fmt", [1, 2])
+    def test_split_merge_identity_both_formats(
+        self, multi_fleet, tmp_path, fmt
+    ):
+        from repro.core.fingerprint import model_fingerprint
+
+        plain = tmp_path / "plain"
+        sharded = tmp_path / "sharded"
+        merged_dir = tmp_path / "merged"
+        save_fleet(multi_fleet, plain, format=fmt)
+        split_snapshot(plain, sharded, num_shards=3)
+
+        # Each shard dir is itself a loadable snapshot of the same format.
+        shard0 = json.loads(
+            (sharded / "shard_0000" / "manifest.json").read_text()
+        )
+        assert shard0["format_version"] == fmt
+
+        reference = {
+            oid: model_fingerprint(multi_fleet[oid])
+            for oid in multi_fleet.object_ids()
+        }
+        seen = {}
+        for shard_id in range(3):
+            worker_fleet = load_shard_fleet(sharded, shard_id, 3)
+            for oid in worker_fleet.object_ids():
+                seen[oid] = model_fingerprint(worker_fleet[oid])
+        assert seen == reference
+
+        merge_snapshot(sharded, merged_dir)
+        merged = load_fleet(merged_dir)
+        assert {
+            oid: model_fingerprint(merged[oid]) for oid in merged.object_ids()
+        } == reference
+
     def test_load_fleet_object_ids_filter(self, multi_fleet, tmp_path):
         plain = tmp_path / "plain"
         save_fleet(multi_fleet, plain)
